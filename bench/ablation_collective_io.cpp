@@ -1,0 +1,46 @@
+// Ablation: MPI-IO collective buffering (cb aggregators) on CosmoFlow's
+// shared small-file reads. Disabling aggregation multiplies the number of
+// PFS requests per file by the ranks-per-node; widening cb_buffer reduces
+// server requests (§IV-D.1 aggregation guidance).
+#include <cstdio>
+#include <iostream>
+
+#include "util/table.hpp"
+#include "workloads/cosmoflow.hpp"
+
+int main() {
+  using namespace wasp;
+  util::TablePrinter table(
+      "Ablation — collective buffering (CosmoFlow, 8 nodes, reduced set)");
+  table.set_header({"aggregators/node", "cb_buffer", "job s", "io s",
+                    "PFS data ops"});
+
+  workloads::CosmoflowParams P;
+  P.nodes = 8;
+  P.procs_per_node = 4;
+  P.files = 1024;
+  P.gpu_per_file = sim::seconds(0.2);
+
+  struct Case {
+    int agg;
+    util::Bytes cb;
+  };
+  for (const Case c : {Case{1, 16 * util::kMiB}, Case{1, 4 * util::kMiB},
+                       Case{0, 16 * util::kMiB}}) {
+    advisor::RunConfig cfg;
+    cfg.mpiio.aggregators_per_node = c.agg;
+    cfg.mpiio.cb_buffer = c.cb;
+    runtime::Simulation sim(cluster::lassen(P.nodes));
+    auto out = workloads::run_with(sim, workloads::make_cosmoflow(P), cfg,
+                                   analysis::Analyzer::Options{});
+    char job[32];
+    char io[32];
+    std::snprintf(job, sizeof(job), "%.1f", out.job_seconds);
+    std::snprintf(io, sizeof(io), "%.1f",
+                  out.profile.io_time_fraction * out.job_seconds);
+    table.add_row({std::to_string(c.agg), util::format_bytes(c.cb), job, io,
+                   std::to_string(sim.pfs().counters().data_ops)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: transparent checkpoint compression vs the data's value
+// distribution and the codec's home (CPU vs GPU) — the paper's §I warning
+// made measurable: compressing high-entropy (uniform) data grows it and
+// slows the job, while structured (normal) data on a GPU codec wins.
+#include <cstdio>
+#include <iostream>
+
+#include "io/compression.hpp"
+#include "util/table.hpp"
+#include "workloads/hacc.hpp"
+
+int main() {
+  using namespace wasp;
+  util::TablePrinter table(
+      "Ablation — checkpoint compression (HACC-style, 8 nodes)");
+  table.set_header({"data dist", "codec", "ratio", "job s",
+                    "PFS bytes written"});
+
+  workloads::HaccParams P;
+  P.nodes = 8;
+  P.ranks_per_node = 16;
+  P.per_rank_bytes = 512 * util::kMB;
+  P.generate_compute = sim::seconds(4);
+
+  struct Case {
+    const char* dist;
+    const char* codec;  // "off", "cpu", "gpu"
+  };
+  for (const Case c : {Case{"-", "off"}, Case{"uniform", "cpu"},
+                       Case{"normal", "cpu"}, Case{"normal", "gpu"}}) {
+    advisor::RunConfig cfg;
+    double ratio = 1.0;
+    if (std::string(c.codec) != "off") {
+      ratio = io::CompressionModel::ratio_for(c.dist);
+      cfg.compress_checkpoints = true;
+      cfg.compress_on_gpu = std::string(c.codec) == "gpu";
+      cfg.compression_ratio = ratio;
+    }
+    runtime::Simulation sim(cluster::lassen(P.nodes));
+    auto out = workloads::run_with(sim, workloads::make_hacc(P), cfg,
+                                   analysis::Analyzer::Options{});
+    char job[32];
+    char rat[32];
+    std::snprintf(job, sizeof(job), "%.1f", out.job_seconds);
+    std::snprintf(rat, sizeof(rat), "%.2f", ratio);
+    table.add_row({c.dist, c.codec, rat, job,
+                   util::format_bytes(sim.pfs().counters().bytes_written)});
+  }
+  table.print(std::cout);
+  std::cout << "\nTakeaway: the data_dist attribute decides whether the\n"
+               "compression rule helps (normal: smaller+faster, especially\n"
+               "on GPU) or hurts (uniform: +12% data, slower) — exactly the\n"
+               "paper's introduction example.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace wasp::benchutil {
+
+struct NamedRun {
+  std::string name;
+  workloads::RunOutput out;
+};
+
+/// Run all six exemplar workloads at paper scale (32 nodes) and return the
+/// outputs in the paper's column order.
+inline std::vector<NamedRun> run_all_paper() {
+  std::vector<NamedRun> runs;
+  for (const auto& e : workloads::paper_workloads()) {
+    std::cerr << "running " << e.name << "...\n";
+    runs.push_back({e.name, workloads::run(cluster::lassen(32),
+                                           e.make_paper())});
+  }
+  return runs;
+}
+
+/// Print a paper-style attribute table: one row per attribute, one column
+/// per workload. `pick` extracts the AttrList for a run.
+inline void print_attribute_table(
+    const std::string& title, const std::vector<NamedRun>& runs,
+    const std::function<charz::AttrList(const workloads::RunOutput&)>& pick) {
+  util::TablePrinter table(title);
+  std::vector<std::string> header = {"Attribute"};
+  for (const auto& r : runs) header.push_back(r.name);
+  table.set_header(std::move(header));
+
+  if (runs.empty()) return;
+  const auto first = pick(runs.front().out);
+  for (std::size_t a = 0; a < first.size(); ++a) {
+    std::vector<std::string> row = {first[a].first};
+    for (const auto& r : runs) {
+      const auto attrs = pick(r.out);
+      row.push_back(a < attrs.size() ? attrs[a].second : "");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+/// Simple ASCII bar for figure-style output.
+inline std::string bar(double value, double max_value, int width = 40) {
+  if (max_value <= 0) return "";
+  int n = static_cast<int>(value / max_value * width + 0.5);
+  if (n > width) n = width;
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace wasp::benchutil

@@ -1,0 +1,78 @@
+// Calibration harness: runs all six exemplar workloads at paper scale and
+// prints measured vs paper Table-I values plus simulator cost. Not one of
+// the paper's tables itself — this is the tool used to tune the Lassen
+// preset constants (see EXPERIMENTS.md for the resulting calibration).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double job_sec;
+  double io_frac;
+  double write_gb;
+  double read_gb;
+  double files;
+  double data_ops_frac;  // Table III
+};
+
+constexpr PaperRow kPaper[] = {
+    {"CM1", 664, 0.11, 1, 20, 774, 0.30},
+    {"HACC (FPP)", 33, 0.75, 750, 750, 1280, 0.50},
+    {"Cosmoflow", 3567, 0.12, 0.020, 1500, 50000, 0.02},
+    {"JAG", 1289, 0.13, 0.002, 25, 1, 0.30},
+    {"Montage MPI", 247, 0.12, 24, 28, 1040, 0.99},
+    {"Montage Pegasus", 1038, 0.21, 32, 107, 5738, 0.65},
+};
+
+}  // namespace
+
+int main() {
+  using namespace wasp;
+  util::TablePrinter table("Calibration: measured vs paper (Table I)");
+  table.set_header({"workload", "job s (paper)", "io% (paper)",
+                    "write (paper)", "read (paper)", "#files (paper)",
+                    "data-ops% (paper)", "events", "wall ms"});
+
+  auto entries = workloads::paper_workloads();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const auto& p = kPaper[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    auto out = workloads::run(cluster::lassen(32), e.make_paper());
+    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    char buf[64];
+    auto fmt = [&buf](double v, double paper) {
+      std::snprintf(buf, sizeof(buf), "%.3g (%.3g)", v, paper);
+      return std::string(buf);
+    };
+    table.add_row({
+        e.name,
+        fmt(out.job_seconds, p.job_sec),
+        fmt(out.profile.io_time_fraction * 100, p.io_frac * 100),
+        fmt(static_cast<double>(out.profile.totals.write_bytes) / 1e9,
+            p.write_gb),
+        fmt(static_cast<double>(out.profile.totals.read_bytes) / 1e9,
+            p.read_gb),
+        fmt(static_cast<double>(out.profile.files.size()), p.files),
+        fmt(out.profile.totals.data_op_fraction() * 100,
+            p.data_ops_frac * 100),
+        std::to_string(out.engine_events),
+        std::to_string(wall),
+    });
+    std::printf("%-16s meta-time %.0f%%  ops r/w/m %.3g/%.3g/%.3g M\n",
+                e.name.c_str(), out.profile.totals.meta_time_fraction() * 100,
+                static_cast<double>(out.profile.totals.read_ops) / 1e6,
+                static_cast<double>(out.profile.totals.write_ops) / 1e6,
+                static_cast<double>(out.profile.totals.meta_ops) / 1e6);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 5 — I/O behavior of Montage using MPI: request-size/bandwidth histogram, process & data dependency,
+// and I/O timeline panels regenerated from the simulated workload.
+#include "fig_panels.hpp"
+
+int main() {
+  return wasp::benchutil::run_figure("Figure 5 — I/O behavior of Montage using MPI", 4);
+}

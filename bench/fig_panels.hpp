@@ -1,0 +1,119 @@
+// The three panels of Figures 1-6 rendered as text:
+//   (a) request-size / aggregate-bandwidth histogram,
+//   (b) process & data dependency summary,
+//   (c) I/O timeline (aggregate bandwidth over time).
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace wasp::benchutil {
+
+inline void print_figure_panels(const std::string& name,
+                                const workloads::RunOutput& out) {
+  const auto& p = out.profile;
+
+  // ---- (a) request size & bandwidth histogram ---------------------------
+  {
+    util::TablePrinter table("(a) Request size and bandwidth histogram");
+    table.set_header({"bucket", "read ops", "read agg bw", "write ops",
+                      "write agg bw"});
+    for (std::size_t b = 0; b < p.read_hist.num_buckets(); ++b) {
+      table.add_row({
+          p.read_hist.bucket_label(b),
+          std::to_string(p.read_hist.count(b)),
+          p.read_hist.count(b) ? util::format_rate(p.read_hist.bandwidth(b))
+                               : "-",
+          std::to_string(p.write_hist.count(b)),
+          p.write_hist.count(b) ? util::format_rate(p.write_hist.bandwidth(b))
+                                : "-",
+      });
+    }
+    table.print(std::cout);
+  }
+
+  // ---- (b) process and data dependency ----------------------------------
+  {
+    std::cout << "\n(b) Process and data dependency\n";
+    // Top files by I/O volume with sharing structure.
+    std::vector<const analysis::FileStats*> files;
+    for (const auto& f : p.files) files.push_back(&f);
+    std::sort(files.begin(), files.end(),
+              [](const analysis::FileStats* a, const analysis::FileStats* b) {
+                return a->ops.io_bytes() > b->ops.io_bytes();
+              });
+    util::TablePrinter table;
+    table.set_header({"file", "size", "I/O", "readers", "writers",
+                      "sharing"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(files.size(), 8); ++i) {
+      const auto& f = *files[i];
+      table.add_row({f.path, util::format_bytes(f.size),
+                     util::format_bytes(f.ops.io_bytes()),
+                     std::to_string(f.reader_ranks),
+                     std::to_string(f.writer_ranks),
+                     f.shared() ? "shared" : "FPP"});
+    }
+    table.print(std::cout);
+    if (!p.app_edges.empty()) {
+      std::cout << "app dataflow:\n";
+      for (const auto& e : p.app_edges) {
+        std::cout << "  " << p.app_name(e.producer) << " -> "
+                  << p.app_name(e.consumer) << "  (" << e.files
+                  << " files, " << util::format_bytes(e.bytes) << ")\n";
+      }
+    }
+  }
+
+  // ---- (c) I/O timeline ---------------------------------------------------
+  {
+    std::cout << "\n(c) I/O timeline (aggregate bandwidth per "
+              << util::format_seconds(sim::to_seconds(p.timeline.bin_width))
+              << " bin)\n";
+    double peak = 0;
+    for (std::size_t i = 0; i < p.timeline.num_bins(); ++i) {
+      peak = std::max({peak, p.timeline.read_bps[i], p.timeline.write_bps[i]});
+    }
+    // Downsample to at most 24 printed rows.
+    const std::size_t step = std::max<std::size_t>(p.timeline.num_bins() / 24,
+                                                   1);
+    for (std::size_t i = 0; i < p.timeline.num_bins(); i += step) {
+      double r = 0;
+      double w = 0;
+      for (std::size_t j = i;
+           j < std::min(i + step, p.timeline.num_bins()); ++j) {
+        r = std::max(r, p.timeline.read_bps[j]);
+        w = std::max(w, p.timeline.write_bps[j]);
+      }
+      const double t = sim::to_seconds(p.timeline.bin_width) *
+                       static_cast<double>(i);
+      std::printf("  %8.1fs R %-10s %-40s\n", t,
+                  util::format_rate(r).c_str(), bar(r, peak).c_str());
+      std::printf("  %8s W %-10s %-40s\n", "",
+                  util::format_rate(w).c_str(), bar(w, peak).c_str());
+    }
+  }
+
+  std::cout << "\nsummary: job " << util::format_seconds(out.job_seconds)
+            << ", I/O time " << util::format_percent(p.io_time_fraction)
+            << ", ops dist "
+            << util::format_percent(p.totals.data_op_fraction())
+            << " data / "
+            << util::format_percent(1 - p.totals.data_op_fraction())
+            << " meta, metadata time share "
+            << util::format_percent(p.totals.meta_time_fraction()) << "\n";
+  (void)name;
+}
+
+inline int run_figure(const std::string& title, std::size_t registry_index) {
+  using namespace wasp;
+  auto entries = workloads::paper_workloads();
+  const auto& e = entries.at(registry_index);
+  std::cout << title << " — " << e.name << "\n\n";
+  auto out = workloads::run(cluster::lassen(32), e.make_paper());
+  print_figure_panels(e.name, out);
+  return 0;
+}
+
+}  // namespace wasp::benchutil

@@ -1,0 +1,68 @@
+// google-benchmark microbenchmarks for the analysis pipeline: trace ->
+// ColumnStore conversion and full profile computation.
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.hpp"
+#include "io/posix.hpp"
+#include "runtime/proc.hpp"
+#include "runtime/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wasp;
+
+sim::Task<void> traffic(runtime::Simulation& sim, std::uint16_t app,
+                        int rank, int files) {
+  runtime::Proc p(sim, app, rank, rank % sim.spec().nodes);
+  io::Posix posix(p);
+  util::Rng rng(static_cast<std::uint64_t>(rank) + 1);
+  for (int i = 0; i < files; ++i) {
+    const std::string path =
+        "/p/gpfs1/a" + std::to_string(rank) + "_" + std::to_string(i);
+    auto f = co_await posix.open(path, io::OpenMode::kWrite);
+    co_await posix.write(f, 4096 + rng.below(1 << 20), 4);
+    co_await posix.close(f);
+  }
+}
+
+runtime::Simulation* make_traffic(int ranks, int files) {
+  auto* sim = new runtime::Simulation(cluster::tiny(4));
+  const auto app = sim->tracer().register_app("traffic");
+  for (int r = 0; r < ranks; ++r) {
+    sim->engine().spawn(traffic(*sim, app, r, files));
+  }
+  sim->engine().run();
+  return sim;
+}
+
+void BM_ColumnStoreConversion(benchmark::State& state) {
+  auto* sim = make_traffic(16, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto cs = analysis::ColumnStore::from_records(sim->tracer().records());
+    benchmark::DoNotOptimize(cs.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              sim->tracer().records().size()));
+  delete sim;
+}
+BENCHMARK(BM_ColumnStoreConversion)->Arg(16)->Arg(256);
+
+void BM_FullProfileAnalysis(benchmark::State& state) {
+  auto* sim = make_traffic(16, static_cast<int>(state.range(0)));
+  analysis::Analyzer analyzer;
+  for (auto _ : state) {
+    auto profile = analyzer.analyze(sim->tracer());
+    benchmark::DoNotOptimize(profile.totals.total_ops());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              sim->tracer().records().size()));
+  delete sim;
+}
+BENCHMARK(BM_FullProfileAnalysis)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

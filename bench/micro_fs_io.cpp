@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks for the filesystem/interface layers:
+// simulated-op cost in host time (how fast the simulator itself runs).
+#include <benchmark/benchmark.h>
+
+#include "io/posix.hpp"
+#include "io/stdio.hpp"
+#include "runtime/proc.hpp"
+#include "runtime/simulation.hpp"
+
+namespace {
+
+using namespace wasp;
+
+sim::Task<void> posix_ops(runtime::Simulation& sim, std::uint16_t app,
+                          int n) {
+  runtime::Proc p(sim, app, 0, 0);
+  io::Posix posix(p);
+  auto f = co_await posix.open("/p/gpfs1/bench", io::OpenMode::kWrite);
+  for (int i = 0; i < n; ++i) {
+    co_await posix.write(f, 64 * util::kKiB, 1);
+  }
+  co_await posix.close(f);
+}
+
+void BM_PosixWriteOps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    runtime::Simulation sim(cluster::tiny(1));
+    sim.engine().spawn(posix_ops(sim, sim.tracer().register_app("b"), n));
+    sim.engine().run();
+    benchmark::DoNotOptimize(sim.tracer().records().size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PosixWriteOps)->Arg(1000)->Arg(10000);
+
+sim::Task<void> meta_ops(runtime::Simulation& sim, std::uint16_t app,
+                         int n) {
+  runtime::Proc p(sim, app, 0, 0);
+  io::Posix posix(p);
+  for (int i = 0; i < n; ++i) {
+    auto f = co_await posix.open("/p/gpfs1/meta_" + std::to_string(i % 64),
+                                 io::OpenMode::kWrite);
+    co_await posix.close(f);
+  }
+}
+
+void BM_MetadataOps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    runtime::Simulation sim(cluster::tiny(1));
+    sim.engine().spawn(meta_ops(sim, sim.tracer().register_app("b"), n));
+    sim.engine().run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_MetadataOps)->Arg(1000)->Arg(10000);
+
+sim::Task<void> stdio_small(runtime::Simulation& sim, std::uint16_t app,
+                            int n) {
+  runtime::Proc p(sim, app, 0, 0);
+  io::Stdio stdio(p);
+  auto f = co_await stdio.fopen("/p/gpfs1/sbench", io::OpenMode::kWrite);
+  for (int i = 0; i < n; ++i) {
+    co_await stdio.fwrite(f, 256, 16);
+  }
+  co_await stdio.fclose(f);
+}
+
+void BM_StdioBufferedWrites(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    runtime::Simulation sim(cluster::tiny(1));
+    sim.engine().spawn(stdio_small(sim, sim.tracer().register_app("b"), n));
+    sim.engine().run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_StdioBufferedWrites)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks for the DES core: event throughput,
+// synchronization primitives, fork/join fan-out.
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "sim/link.hpp"
+#include "sim/sync.hpp"
+#include "sim/waitgroup.hpp"
+
+namespace {
+
+using namespace wasp;
+
+sim::Task<void> delay_chain(sim::Engine& eng, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim::Delay(eng, 100);
+  }
+}
+
+void BM_EngineDelayEvents(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(delay_chain(eng, n));
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineDelayEvents)->Arg(1000)->Arg(100000);
+
+void BM_EngineManyProcesses(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int p = 0; p < procs; ++p) eng.spawn(delay_chain(eng, 16));
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 16);
+}
+BENCHMARK(BM_EngineManyProcesses)->Arg(128)->Arg(2048);
+
+sim::Task<void> resource_user(sim::Engine& eng, sim::Resource& res, int n) {
+  for (int i = 0; i < n; ++i) {
+    auto guard = co_await res.acquire();
+    co_await sim::Delay(eng, 10);
+  }
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Resource res(eng, 4);
+    for (int p = 0; p < procs; ++p) {
+      eng.spawn(resource_user(eng, res, 32));
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 32);
+}
+BENCHMARK(BM_ResourceContention)->Arg(64)->Arg(512);
+
+sim::Task<void> fanout_root(sim::Engine& eng, int width) {
+  sim::WaitGroup wg(eng);
+  for (int i = 0; i < width; ++i) {
+    wg.launch(delay_chain(eng, 4));
+  }
+  co_await wg.wait();
+}
+
+void BM_WaitGroupFanout(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(fanout_root(eng, width));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_WaitGroupFanout)->Arg(64)->Arg(1024);
+
+sim::Task<void> link_user(sim::SharedLink& link, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await link.transfer(1 << 20);
+  }
+}
+
+void BM_SharedLinkTransfers(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::SharedLink::Config cfg;
+    cfg.capacity_bps = 10e9;
+    cfg.per_stream_bps = 2e9;
+    cfg.max_streams = 64;
+    sim::SharedLink link(eng, cfg);
+    for (int s = 0; s < streams; ++s) eng.spawn(link_user(link, 16));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * streams * 16);
+}
+BENCHMARK(BM_SharedLinkTransfers)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

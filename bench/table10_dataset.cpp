@@ -1,0 +1,16 @@
+// Table X — Dataset entity: regenerated from simulated runs of all six exemplar
+// workloads at paper scale. See EXPERIMENTS.md for measured-vs-paper notes.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace wasp;
+  auto runs = benchutil::run_all_paper();
+  benchutil::print_attribute_table(
+      "Table X — Dataset entity", runs,
+      [](const workloads::RunOutput& o) -> charz::AttrList {
+        return o.characterization.dataset.attributes();
+      });
+  return 0;
+}

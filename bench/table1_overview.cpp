@@ -1,0 +1,94 @@
+// Table I: high-level I/O behavior of the six exemplar applications.
+// Paper values are shown in parentheses for every measured cell.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct PaperRow {
+  double job_sec, io_pct, write_gb, read_gb, files, shared, fpp;
+  const char* iface;
+};
+
+// Columns: CM1, HACC, Cosmoflow, JAG, Montage MPI, Montage Pegasus.
+constexpr PaperRow kPaper[] = {
+    {664, 11, 1, 20, 774, 37, 737, "POSIX"},
+    {33, 75, 750, 750, 1280, 0, 1280, "POSIX"},
+    {3567, 12, 0.02, 1500, 50000, 50000, 0, "HDF5/MPI-IO"},
+    {1289, 13, 0.002, 25, 1, 1, 0, "STDIO"},
+    {247, 12, 24, 28, 1040, 80, 960, "STDIO"},
+    {1038, 21, 32, 1066, 5738, 960, 4778, "STDIO"},
+};
+
+std::string cell(double v, double paper) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g (%.3g)", v, paper);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wasp;
+  auto runs = benchutil::run_all_paper();
+
+  util::TablePrinter table(
+      "Table I — High-level I/O behavior (measured vs paper)");
+  std::vector<std::string> header = {"I/O Behavior"};
+  for (const auto& r : runs) header.push_back(r.name);
+  table.set_header(std::move(header));
+
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      cells.push_back(getter(runs[i].out, kPaper[i]));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  row("job time (sec)", [](const workloads::RunOutput& o, const PaperRow& p) {
+    return cell(o.job_seconds, p.job_sec);
+  });
+  row("% of I/O time", [](const workloads::RunOutput& o, const PaperRow& p) {
+    return cell(o.profile.io_time_fraction * 100, p.io_pct);
+  });
+  row("Write I/O (GB)", [](const workloads::RunOutput& o, const PaperRow& p) {
+    return cell(static_cast<double>(o.profile.totals.write_bytes) / 1e9,
+                p.write_gb);
+  });
+  row("Read I/O (GB)", [](const workloads::RunOutput& o, const PaperRow& p) {
+    return cell(static_cast<double>(o.profile.totals.read_bytes) / 1e9,
+                p.read_gb);
+  });
+  row("# files used", [](const workloads::RunOutput& o, const PaperRow& p) {
+    return cell(static_cast<double>(o.profile.files.size()), p.files);
+  });
+  row("Shared file access",
+      [](const workloads::RunOutput& o, const PaperRow& p) {
+        return cell(static_cast<double>(o.profile.shared_files), p.shared);
+      });
+  row("FPP access", [](const workloads::RunOutput& o, const PaperRow& p) {
+    return cell(static_cast<double>(o.profile.fpp_files), p.fpp);
+  });
+  row("Access pattern", [](const workloads::RunOutput& o, const PaperRow&) {
+    return o.characterization.high_level_io.access_pattern +
+           std::string(" (Seq)");
+  });
+  row("I/O interface", [](const workloads::RunOutput& o, const PaperRow& p) {
+    std::string ifc = "?";
+    // Dominant interface over apps weighted by I/O volume.
+    fs::Bytes best = 0;
+    for (const auto& a : o.profile.apps) {
+      if (a.ops.io_bytes() >= best) {
+        best = a.ops.io_bytes();
+        ifc = trace::to_string(a.interface);
+      }
+    }
+    return ifc + " (" + p.iface + ")";
+  });
+
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table IV — Application entity: one block per workload, one row per
+// application in the workload (workflows have several).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace wasp;
+  auto runs = benchutil::run_all_paper();
+  for (const auto& r : runs) {
+    util::TablePrinter table("Table IV — Application entities: " + r.name);
+    bool header_set = false;
+    for (const auto& app : r.out.characterization.applications) {
+      const auto attrs = app.attributes();
+      if (!header_set) {
+        std::vector<std::string> header;
+        for (const auto& [k, v] : attrs) header.push_back(k);
+        table.set_header(std::move(header));
+        header_set = true;
+      }
+      std::vector<std::string> row;
+      for (const auto& [k, v] : attrs) row.push_back(v);
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table IX — Shared-Storage entity: regenerated from simulated runs of all six exemplar
+// workloads at paper scale. See EXPERIMENTS.md for measured-vs-paper notes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workloads/ior.hpp"
+
+int main() {
+  using namespace wasp;
+  auto runs = benchutil::run_all_paper();
+  benchutil::print_attribute_table(
+      "Table IX — Shared-Storage entity", runs,
+      [](const workloads::RunOutput& o) -> charz::AttrList {
+        return o.characterization.shared_storage.attributes();
+      });
+
+  // The paper anchors "Max I/O BW" with a 32-node IOR run (64GB/s).
+  std::cerr << "running 32-node IOR to validate the bandwidth envelope...\n";
+  auto [write_gbps, read_gbps] = workloads::measure_ior(
+      cluster::lassen(32), workloads::IorParams::paper());
+  std::printf(
+      "\nmeasured 32-node IOR: write %.1f GB/s, read %.1f GB/s "
+      "(paper: 64GB/s)\n",
+      write_gbps, read_gbps);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Checkpoint/restart study (HACC-style): sweep the checkpoint transfer
+// granularity and the PFS stripe size to show why the advisor's
+// "stripe-size" rule matches stripes to the dominant transfer size
+// (§IV-D.3's Lustre example).
+//
+// Build & run:  ./build/examples/example_checkpoint_restart
+#include <iostream>
+
+#include "util/table.hpp"
+#include "workloads/hacc.hpp"
+
+using namespace wasp;
+
+int main() {
+  util::TablePrinter table(
+      "HACC-style checkpoint: transfer granularity x stripe size");
+  table.set_header({"transfer", "stripe", "job s", "I/O s",
+                    "agg write bw"});
+
+  for (util::Bytes transfer :
+       {64 * util::kKiB, util::kMiB, 16 * util::kMiB}) {
+    for (util::Bytes stripe : {util::kMiB, 16 * util::kMiB}) {
+      workloads::HaccParams P;
+      P.nodes = 8;
+      P.ranks_per_node = 8;
+      P.per_rank_bytes = 256 * util::kMiB;
+      P.transfer = transfer;
+      P.rounds = 4;
+      P.generate_compute = sim::seconds(2);
+
+      auto spec = cluster::lassen(8);
+      spec.pfs.stripe_size = stripe;
+      auto out = workloads::run(spec, workloads::make_hacc(P));
+
+      const double io_sec =
+          out.profile.io_time_fraction * out.job_seconds;
+      const double write_bw =
+          static_cast<double>(out.profile.totals.write_bytes) /
+          (out.profile.totals.data_sec / 2 + 1e-9);
+      table.add_row({util::format_bytes(transfer),
+                     util::format_bytes(stripe),
+                     util::format_seconds(out.job_seconds),
+                     util::format_seconds(io_sec),
+                     util::format_rate(write_bw)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nTakeaway: large transfers tolerate any stripe size; small\n"
+               "transfers lose an order of magnitude — the attribute pair\n"
+               "(io_granularity, io_amount) is what the advisor's\n"
+               "stripe-size rule keys on.\n";
+  return 0;
+}

@@ -1,0 +1,505 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wasp::analysis {
+namespace {
+
+/// Analysis-scope file identity: node-local files with the same inode id on
+/// different nodes are distinct.
+struct ScopedFile {
+  std::int16_t fs;
+  int node_scope;  // -1 for shared filesystems
+  fs::FileId file;
+  bool operator<(const ScopedFile& o) const noexcept {
+    return std::tie(fs, node_scope, file) <
+           std::tie(o.fs, o.node_scope, o.file);
+  }
+};
+
+void add_op(OpsBreakdown& b, const ColumnStore& cs, std::size_t i) {
+  const trace::Op op = cs.op(i);
+  const auto n = static_cast<std::uint64_t>(cs.count(i));
+  if (op == trace::Op::kRead) {
+    b.read_ops += n;
+    b.read_bytes += cs.total_bytes(i);
+    b.data_sec += cs.duration_sec(i);
+  } else if (op == trace::Op::kWrite) {
+    b.write_ops += n;
+    b.write_bytes += cs.total_bytes(i);
+    b.data_sec += cs.duration_sec(i);
+  } else if (trace::is_meta(op)) {
+    b.meta_ops += n;
+    b.meta_sec += cs.duration_sec(i);
+  }
+}
+
+}  // namespace
+
+void OpsBreakdown::merge(const OpsBreakdown& o) noexcept {
+  read_ops += o.read_ops;
+  write_ops += o.write_ops;
+  meta_ops += o.meta_ops;
+  read_bytes += o.read_bytes;
+  write_bytes += o.write_bytes;
+  data_sec += o.data_sec;
+  meta_sec += o.meta_sec;
+}
+
+std::string Phase::frequency_label() const {
+  const std::string gran = util::format_bytes(dominant_size);
+  if (ops_per_rank <= 1.5) return "1 op";
+  if (ops_per_rank < 20.0) {
+    return std::to_string(static_cast<int>(ops_per_rank + 0.5)) + " ops/rank";
+  }
+  // Long phases with ops spread through them are iterative input pipelines;
+  // short dense phases are bulk transfers.
+  if (runtime_sec() > 60.0) return "Iterative (" + gran + ")";
+  return "Bulk (" + gran + ")";
+}
+
+const AppStats* WorkloadProfile::app_by_name(const std::string& name) const {
+  for (const auto& a : apps) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const AppStats* WorkloadProfile::app_by_id(std::uint16_t app) const {
+  for (const auto& a : apps) {
+    if (a.app == app) return &a;
+  }
+  return nullptr;
+}
+
+const std::string& WorkloadProfile::app_name(std::uint16_t app) const {
+  static const std::string kUnknown = "?";
+  const AppStats* a = app_by_id(app);
+  return a != nullptr ? a->name : kUnknown;
+}
+
+const Phase* WorkloadProfile::first_phase(std::uint16_t app) const {
+  const Phase* best = nullptr;
+  for (const auto& ph : phases) {
+    if (ph.app == app && (best == nullptr || ph.t0 < best->t0)) best = &ph;
+  }
+  return best;
+}
+
+double Analyzer::union_seconds(
+    std::vector<std::pair<sim::Time, sim::Time>> iv) {
+  if (iv.empty()) return 0.0;
+  std::sort(iv.begin(), iv.end());
+  sim::Time covered = 0;
+  sim::Time cur_lo = iv[0].first;
+  sim::Time cur_hi = iv[0].second;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first > cur_hi) {
+      covered += cur_hi - cur_lo;
+      cur_lo = iv[i].first;
+      cur_hi = iv[i].second;
+    } else {
+      cur_hi = std::max(cur_hi, iv[i].second);
+    }
+  }
+  covered += cur_hi - cur_lo;
+  return sim::to_seconds(covered);
+}
+
+WorkloadProfile Analyzer::analyze(const trace::Tracer& tracer) const {
+  TraceInput input;
+  input.records = tracer.records();
+  for (std::size_t a = 0; a < tracer.num_apps(); ++a) {
+    input.app_names.push_back(tracer.app_name(static_cast<std::uint16_t>(a)));
+  }
+  input.path_at = [&tracer](std::size_t i) {
+    const auto& r = tracer.records()[i];
+    return tracer.path_of(r.file, r.node);
+  };
+  input.size_at = [&tracer](std::size_t i) -> fs::Bytes {
+    const auto& r = tracer.records()[i];
+    if (!r.file.valid()) return 0;
+    auto& fsys = tracer.filesystem(r.file.fs);
+    auto& ns = fsys.ns(fs::ProcSite{fsys.shared() ? 0 : r.node, 0});
+    if (r.file.file < ns.inodes().size()) {
+      return ns.inodes()[r.file.file].size;
+    }
+    return 0;
+  };
+  input.fs_shared = [&tracer](std::int16_t idx) {
+    return tracer.filesystem(idx).shared();
+  };
+  return analyze(input);
+}
+
+WorkloadProfile Analyzer::analyze(const trace::LogData& log) const {
+  TraceInput input;
+  input.records = log.records;
+  input.app_names = log.apps;
+  input.path_at = [&log](std::size_t i) { return log.paths[i]; };
+  input.size_at = [&log](std::size_t i) -> fs::Bytes {
+    return i < log.file_sizes.size() ? log.file_sizes[i] : 0;
+  };
+  input.fs_shared = [&log](std::int16_t idx) {
+    const auto u = static_cast<std::size_t>(idx);
+    return u >= log.fs_shared.size() || log.fs_shared[u];
+  };
+  return analyze(input);
+}
+
+WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
+  WorkloadProfile p;
+  const ColumnStore cs = ColumnStore::from_records(input.records);
+  if (cs.empty()) return p;
+
+  // --- Job extent ------------------------------------------------------
+  sim::Time job_t0 = cs.tstart(0);
+  sim::Time job_t1 = cs.tend(0);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    job_t0 = std::min(job_t0, cs.tstart(i));
+    job_t1 = std::max(job_t1, cs.tend(i));
+  }
+  p.job_runtime_sec = sim::to_seconds(job_t1 - job_t0);
+
+  // --- Per-app, per-file, per-rank passes ------------------------------
+  std::map<std::uint16_t, AppStats> apps;
+  std::map<ScopedFile, FileStats> files;
+  std::unordered_map<std::uint64_t, double> rank_io_sec;  // (app<<32|rank)
+  std::set<std::pair<std::uint16_t, std::int32_t>> procs;
+  std::set<std::int32_t> nodes;
+  std::map<ScopedFile, std::set<std::int32_t>> file_readers;
+  std::map<ScopedFile, std::set<std::int32_t>> file_writers;
+  // Dominant interface per app: ops per (app, iface).
+  std::map<std::pair<std::uint16_t, trace::Iface>, std::uint64_t> iface_ops;
+  // Sequentiality: last end offset per (scoped file, rank).
+  std::map<std::pair<ScopedFile, std::int32_t>, fs::Bytes> last_end;
+  std::uint64_t seq_ops = 0;
+  std::uint64_t pattern_ops = 0;
+  std::map<fs::Bytes, std::uint64_t> size_counts_global;
+  std::vector<std::pair<sim::Time, sim::Time>> io_intervals;
+  // Interval collections for aggregate-bandwidth unions.
+  std::vector<std::vector<std::pair<sim::Time, sim::Time>>> read_iv(
+      p.read_hist.num_buckets());
+  std::vector<std::vector<std::pair<sim::Time, sim::Time>>> write_iv(
+      p.write_hist.num_buckets());
+
+  auto scoped = [&input](const ColumnStore& c, std::size_t i) -> ScopedFile {
+    const trace::FileKey key = c.file(i);
+    int scope = -1;
+    if (key.valid() && !input.fs_shared(key.fs)) {
+      scope = c.node(i);
+    }
+    return ScopedFile{key.fs, scope, key.file};
+  };
+
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const trace::Op op = cs.op(i);
+    // App bookkeeping (all records).
+    auto [ait, fresh] = apps.try_emplace(cs.app(i));
+    AppStats& app = ait->second;
+    if (fresh) {
+      app.app = cs.app(i);
+      app.name = cs.app(i) < input.app_names.size()
+                     ? input.app_names[cs.app(i)]
+                     : std::to_string(cs.app(i));
+      app.first_event = cs.tstart(i);
+      app.last_event = cs.tend(i);
+    } else {
+      app.first_event = std::min(app.first_event, cs.tstart(i));
+      app.last_event = std::max(app.last_event, cs.tend(i));
+    }
+    procs.insert({cs.app(i), cs.rank(i)});
+    nodes.insert(cs.node(i));
+
+    if (cs.iface(i) == trace::Iface::kCpu) {
+      app.cpu_sec += cs.duration_sec(i);
+      continue;
+    }
+    if (cs.iface(i) == trace::Iface::kGpu) {
+      app.gpu_sec += cs.duration_sec(i);
+      continue;
+    }
+    if (!trace::is_io(op)) continue;
+
+    add_op(app.ops, cs, i);
+    add_op(p.totals, cs, i);
+    const std::uint64_t proc_key =
+        (static_cast<std::uint64_t>(cs.app(i)) << 32) |
+        static_cast<std::uint32_t>(cs.rank(i));
+    rank_io_sec[proc_key] += cs.duration_sec(i);
+    io_intervals.emplace_back(cs.tstart(i), cs.tend(i));
+    if (trace::is_data(op)) {
+      iface_ops[{cs.app(i), cs.iface(i)}] += cs.count(i);
+    }
+
+    // Histograms + interval unions (data ops only).
+    if (op == trace::Op::kRead) {
+      p.read_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
+      read_iv[p.read_hist.bucket_index(cs.size_col(i))].push_back(
+          {cs.tstart(i), cs.tend(i)});
+    } else if (op == trace::Op::kWrite) {
+      p.write_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
+      write_iv[p.write_hist.bucket_index(cs.size_col(i))].push_back(
+          {cs.tstart(i), cs.tend(i)});
+    }
+
+    // File bookkeeping.
+    const trace::FileKey key = cs.file(i);
+    if (!key.valid()) continue;
+    const ScopedFile sf = scoped(cs, i);
+
+    if (trace::is_data(op)) {
+      size_counts_global[cs.size_col(i)] += cs.count(i);
+      // A coalesced record is internally sequential; only its first op can
+      // break the stream relative to the rank's previous access.
+      auto [lit, first_touch] =
+          last_end.try_emplace({sf, cs.rank(i)}, cs.offset(i));
+      pattern_ops += cs.count(i);
+      seq_ops += cs.count(i) - 1;
+      if (first_touch || lit->second == cs.offset(i)) ++seq_ops;
+      lit->second = cs.offset(i) + cs.total_bytes(i);
+    }
+    auto [fit, fnew] = files.try_emplace(sf);
+    FileStats& fstat = fit->second;
+    if (fnew) {
+      fstat.key = key;
+      fstat.node_scope = sf.node_scope;
+      fstat.path = input.path_at(i);
+      fstat.first_access = cs.tstart(i);
+      fstat.last_access = cs.tend(i);
+    } else {
+      fstat.first_access = std::min(fstat.first_access, cs.tstart(i));
+      fstat.last_access = std::max(fstat.last_access, cs.tend(i));
+    }
+    fstat.size = std::max(fstat.size, input.size_at(i));
+    add_op(fstat.ops, cs, i);
+    if (op == trace::Op::kRead) {
+      file_readers[sf].insert(cs.rank(i));
+      if (std::find(fstat.consumer_apps.begin(), fstat.consumer_apps.end(),
+                    cs.app(i)) == fstat.consumer_apps.end()) {
+        fstat.consumer_apps.push_back(cs.app(i));
+      }
+    } else if (op == trace::Op::kWrite) {
+      file_writers[sf].insert(cs.rank(i));
+      if (std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
+                    cs.app(i)) == fstat.producer_apps.end()) {
+        fstat.producer_apps.push_back(cs.app(i));
+      }
+    }
+  }
+
+  // Resolve per-file sizes and sharing.
+  for (auto& [sf, fstat] : files) {
+    const auto& readers = file_readers[sf];
+    const auto& writers = file_writers[sf];
+    std::set<std::int32_t> all(readers);
+    all.insert(writers.begin(), writers.end());
+    fstat.reader_ranks = static_cast<std::uint32_t>(readers.size());
+    fstat.writer_ranks = static_cast<std::uint32_t>(writers.size());
+    fstat.accessor_ranks = static_cast<std::uint32_t>(all.size());
+    if (fstat.shared()) {
+      ++p.shared_files;
+    } else {
+      ++p.fpp_files;
+    }
+  }
+
+  // Per-app file sharing counts + dominant interface.
+  for (auto& [id, app] : apps) {
+    for (const auto& [sf, fstat] : files) {
+      const bool touches =
+          std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
+                    id) != fstat.producer_apps.end() ||
+          std::find(fstat.consumer_apps.begin(), fstat.consumer_apps.end(),
+                    id) != fstat.consumer_apps.end();
+      if (!touches) continue;
+      if (fstat.shared()) {
+        ++app.shared_files;
+      } else {
+        ++app.fpp_files;
+      }
+    }
+    std::uint64_t best = 0;
+    for (const auto& [key, n] : iface_ops) {
+      if (key.first == id && n > best) {
+        best = n;
+        app.interface = key.second;
+      }
+    }
+  }
+
+  // Count procs per app.
+  for (const auto& [aid, rank] : procs) {
+    (void)rank;
+    ++apps[aid].num_procs;
+  }
+  p.num_procs = static_cast<int>(procs.size());
+  p.num_nodes = static_cast<int>(nodes.size());
+
+  // I/O-time fractions: wall-clock coverage (Table I) and per-rank mean.
+  if (p.job_runtime_sec > 0) {
+    p.io_time_fraction =
+        union_seconds(std::move(io_intervals)) / p.job_runtime_sec;
+    double sum = 0;
+    for (const auto& [k, v] : rank_io_sec) {
+      (void)k;
+      sum += v;
+    }
+    if (!procs.empty()) {
+      p.io_busy_fraction =
+          sum / static_cast<double>(procs.size()) / p.job_runtime_sec;
+    }
+  }
+
+  // Histogram busy times (interval unions per bucket).
+  for (std::size_t b = 0; b < read_iv.size(); ++b) {
+    p.read_hist.add_seconds(b, union_seconds(std::move(read_iv[b])));
+  }
+  for (std::size_t b = 0; b < write_iv.size(); ++b) {
+    p.write_hist.add_seconds(b, union_seconds(std::move(write_iv[b])));
+  }
+
+  // --- Phases (per app, over I/O records sorted by start) ---------------
+  {
+    std::map<std::uint16_t, std::vector<std::size_t>> io_by_app;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (trace::is_io(cs.op(i))) io_by_app[cs.app(i)].push_back(i);
+    }
+    for (auto& [aid, idx] : io_by_app) {
+      std::sort(idx.begin(), idx.end(), [&cs](std::size_t a, std::size_t b) {
+        return cs.tstart(a) != cs.tstart(b) ? cs.tstart(a) < cs.tstart(b)
+                                            : a < b;
+      });
+      Phase cur;
+      std::map<fs::Bytes, std::uint64_t> size_counts;
+      std::set<std::int32_t> ranks;
+      bool open = false;
+      auto flush = [&]() {
+        if (!open) return;
+        fs::Bytes dom = 0;
+        std::uint64_t dom_n = 0;
+        for (const auto& [sz, n] : size_counts) {
+          if (n > dom_n && sz > 0) {
+            dom_n = n;
+            dom = sz;
+          }
+        }
+        cur.dominant_size = dom;
+        cur.ops_per_rank =
+            ranks.empty() ? 0.0
+                          : static_cast<double>(cur.ops.total_ops()) /
+                                static_cast<double>(ranks.size());
+        p.phases.push_back(cur);
+        size_counts.clear();
+        ranks.clear();
+        open = false;
+      };
+      sim::Time phase_end = 0;
+      for (std::size_t i : idx) {
+        if (!open || cs.tstart(i) > phase_end + opts_.phase_gap) {
+          flush();
+          cur = Phase{};
+          cur.app = aid;
+          cur.t0 = cs.tstart(i);
+          cur.t1 = cs.tend(i);
+          open = true;
+          phase_end = cs.tend(i);
+        }
+        cur.t1 = std::max(cur.t1, cs.tend(i));
+        phase_end = std::max(phase_end, cs.tend(i));
+        add_op(cur.ops, cs, i);
+        if (trace::is_data(cs.op(i))) {
+          size_counts[cs.size_col(i)] += cs.count(i);
+        }
+        ranks.insert(cs.rank(i));
+      }
+      flush();
+    }
+    std::sort(p.phases.begin(), p.phases.end(),
+              [](const Phase& a, const Phase& b) { return a.t0 < b.t0; });
+  }
+
+  // --- App dependency edges ---------------------------------------------
+  {
+    std::map<std::pair<std::uint16_t, std::uint16_t>, AppEdge> edges;
+    for (const auto& [sf, fstat] : files) {
+      (void)sf;
+      for (auto prod : fstat.producer_apps) {
+        for (auto cons : fstat.consumer_apps) {
+          if (prod == cons) continue;
+          auto& e = edges[{prod, cons}];
+          e.producer = prod;
+          e.consumer = cons;
+          e.bytes += fstat.size;
+          ++e.files;
+        }
+      }
+    }
+    for (auto& [k, e] : edges) {
+      (void)k;
+      p.app_edges.push_back(e);
+    }
+  }
+
+  // --- Timeline -----------------------------------------------------------
+  {
+    sim::Time bin = opts_.timeline_bin;
+    const sim::Time span = job_t1 - job_t0;
+    if (span / bin + 1 > opts_.max_timeline_bins) {
+      bin = span / opts_.max_timeline_bins + 1;
+    }
+    const auto nbins = static_cast<std::size_t>(span / bin) + 1;
+    p.timeline.bin_width = bin;
+    p.timeline.read_bps.assign(nbins, 0.0);
+    p.timeline.write_bps.assign(nbins, 0.0);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (!trace::is_data(cs.op(i))) continue;
+      const double bytes = static_cast<double>(cs.total_bytes(i));
+      if (bytes <= 0) continue;
+      const sim::Time t0 = cs.tstart(i) - job_t0;
+      const sim::Time t1 = std::max(cs.tend(i) - job_t0, t0 + 1);
+      const auto b0 = static_cast<std::size_t>(t0 / bin);
+      const auto b1 = std::min(static_cast<std::size_t>((t1 - 1) / bin),
+                               nbins - 1);
+      const double per_bin = bytes / static_cast<double>(b1 - b0 + 1);
+      auto& series = cs.op(i) == trace::Op::kRead ? p.timeline.read_bps
+                                                  : p.timeline.write_bps;
+      for (std::size_t b = b0; b <= b1; ++b) series[b] += per_bin;
+    }
+    const double bin_sec = sim::to_seconds(bin);
+    for (auto& v : p.timeline.read_bps) v /= bin_sec;
+    for (auto& v : p.timeline.write_bps) v /= bin_sec;
+  }
+
+  // Sequentiality + global size frequencies.
+  p.sequential_fraction =
+      pattern_ops > 0
+          ? static_cast<double>(seq_ops) / static_cast<double>(pattern_ops)
+          : 1.0;
+  p.size_frequencies.assign(size_counts_global.begin(),
+                            size_counts_global.end());
+  std::sort(p.size_frequencies.begin(), p.size_frequencies.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Materialize app/file vectors in stable order.
+  p.apps.reserve(apps.size());
+  for (auto& [id, app] : apps) {
+    (void)id;
+    p.apps.push_back(std::move(app));
+  }
+  p.files.reserve(files.size());
+  for (auto& [sf, f] : files) {
+    (void)sf;
+    p.files.push_back(std::move(f));
+  }
+  return p;
+}
+
+}  // namespace wasp::analysis

@@ -1,0 +1,63 @@
+// The Analyzer: turns a trace (via ColumnStore) into a WorkloadProfile.
+// Simulated counterpart of the Vani suite's Analyzer tool.
+#pragma once
+
+#include <functional>
+
+#include "analysis/column_store.hpp"
+#include "analysis/profile.hpp"
+#include "trace/log_io.hpp"
+#include "trace/tracer.hpp"
+
+namespace wasp::analysis {
+
+/// Uniform trace source for the analyzer: a live Tracer or a persisted
+/// LogData both reduce to this view.
+struct TraceInput {
+  std::span<const trace::Record> records;
+  std::vector<std::string> app_names;
+  /// Resolved file path of record i ("" when file-less).
+  std::function<std::string(std::size_t)> path_at;
+  /// Size of record i's file at end of run (0 if unknown).
+  std::function<fs::Bytes(std::size_t)> size_at;
+  /// Whether filesystem index shares one namespace across nodes.
+  std::function<bool(std::int16_t)> fs_shared;
+};
+
+class Analyzer {
+ public:
+  struct Options {
+    /// Gap between consecutive I/O calls that separates two phases.
+    sim::Time phase_gap = 1 * sim::kSec;
+    /// Timeline resolution.
+    sim::Time timeline_bin = 1 * sim::kSec;
+    /// Cap on timeline bins (long jobs get coarser bins instead).
+    std::size_t max_timeline_bins = 2048;
+  };
+
+  Analyzer() : opts_() {}
+  explicit Analyzer(const Options& opts) : opts_(opts) {}
+
+  /// Analyze a live trace (uses the tracer's registries to resolve names
+  /// and paths).
+  WorkloadProfile analyze(const trace::Tracer& tracer) const;
+
+  /// Analyze a persisted Recorder-style log (offline pipeline — no
+  /// Simulation required).
+  WorkloadProfile analyze(const trace::LogData& log) const;
+
+  /// Analyze any trace view.
+  WorkloadProfile analyze(const TraceInput& input) const;
+
+  const Options& options() const noexcept { return opts_; }
+
+  /// Union length (seconds) of a set of [t0,t1] intervals — the wall time a
+  /// bucket of operations was actually active, used for aggregate-bandwidth
+  /// figures. Exposed for tests.
+  static double union_seconds(std::vector<std::pair<sim::Time, sim::Time>> iv);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace wasp::analysis

@@ -1,0 +1,54 @@
+#include "analysis/column_store.hpp"
+
+namespace wasp::analysis {
+
+ColumnStore ColumnStore::from_records(
+    std::span<const trace::Record> records) {
+  ColumnStore cs;
+  const std::size_t n = records.size();
+  cs.app_.reserve(n);
+  cs.rank_.reserve(n);
+  cs.node_.reserve(n);
+  cs.iface_.reserve(n);
+  cs.op_.reserve(n);
+  cs.fs_.reserve(n);
+  cs.file_.reserve(n);
+  cs.offset_.reserve(n);
+  cs.size_.reserve(n);
+  cs.count_.reserve(n);
+  cs.tstart_.reserve(n);
+  cs.tend_.reserve(n);
+  for (const auto& r : records) {
+    cs.app_.push_back(r.app);
+    cs.rank_.push_back(r.rank);
+    cs.node_.push_back(r.node);
+    cs.iface_.push_back(r.iface);
+    cs.op_.push_back(r.op);
+    cs.fs_.push_back(r.file.fs);
+    cs.file_.push_back(r.file.file);
+    cs.offset_.push_back(r.offset);
+    cs.size_.push_back(r.size);
+    cs.count_.push_back(r.count);
+    cs.tstart_.push_back(r.tstart);
+    cs.tend_.push_back(r.tend);
+  }
+  return cs;
+}
+
+trace::Record ColumnStore::row(std::size_t i) const {
+  trace::Record r;
+  r.app = app_[i];
+  r.rank = rank_[i];
+  r.node = node_[i];
+  r.iface = iface_[i];
+  r.op = op_[i];
+  r.file = {fs_[i], file_[i]};
+  r.offset = offset_[i];
+  r.size = size_[i];
+  r.count = count_[i];
+  r.tstart = tstart_[i];
+  r.tend = tend_[i];
+  return r;
+}
+
+}  // namespace wasp::analysis

@@ -1,0 +1,70 @@
+// Column-major trace storage — the stand-in for the Analyzer's
+// Recorder-log -> parquet conversion. Row-major Recorder logs are expensive
+// to filter/aggregate; the paper converts to parquet and processes with
+// DASK. Analysis here runs over these columns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace wasp::analysis {
+
+class ColumnStore {
+ public:
+  static ColumnStore from_records(std::span<const trace::Record> records);
+
+  std::size_t size() const noexcept { return app_.size(); }
+  bool empty() const noexcept { return app_.empty(); }
+
+  // Column accessors.
+  std::uint16_t app(std::size_t i) const { return app_[i]; }
+  std::int32_t rank(std::size_t i) const { return rank_[i]; }
+  std::int32_t node(std::size_t i) const { return node_[i]; }
+  trace::Iface iface(std::size_t i) const { return iface_[i]; }
+  trace::Op op(std::size_t i) const { return op_[i]; }
+  trace::FileKey file(std::size_t i) const { return {fs_[i], file_[i]}; }
+  fs::Bytes offset(std::size_t i) const { return offset_[i]; }
+  fs::Bytes size_col(std::size_t i) const { return size_[i]; }
+  std::uint32_t count(std::size_t i) const { return count_[i]; }
+  sim::Time tstart(std::size_t i) const { return tstart_[i]; }
+  sim::Time tend(std::size_t i) const { return tend_[i]; }
+
+  fs::Bytes total_bytes(std::size_t i) const {
+    return size_[i] * static_cast<fs::Bytes>(count_[i]);
+  }
+  double duration_sec(std::size_t i) const {
+    return sim::to_seconds(tend_[i] - tstart_[i]);
+  }
+
+  /// Reconstruct a row (tests, CSV export).
+  trace::Record row(std::size_t i) const;
+
+  /// Indices of rows matching a predicate over (store, index).
+  template <typename Pred>
+  std::vector<std::size_t> select(Pred pred) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (pred(*this, i)) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::uint16_t> app_;
+  std::vector<std::int32_t> rank_;
+  std::vector<std::int32_t> node_;
+  std::vector<trace::Iface> iface_;
+  std::vector<trace::Op> op_;
+  std::vector<std::int16_t> fs_;
+  std::vector<fs::FileId> file_;
+  std::vector<fs::Bytes> offset_;
+  std::vector<fs::Bytes> size_;
+  std::vector<std::uint32_t> count_;
+  std::vector<sim::Time> tstart_;
+  std::vector<sim::Time> tend_;
+};
+
+}  // namespace wasp::analysis

@@ -1,0 +1,110 @@
+#include "cluster/spec.hpp"
+
+namespace wasp::cluster {
+
+ClusterSpec lassen(int nodes) {
+  ClusterSpec c;
+  c.name = "lassen";
+  c.nodes = nodes;
+  c.node.cpu_cores = 40;
+  c.node.gpus = 4;
+  c.node.memory = 256 * util::kGiB;
+  c.nic.bandwidth_bps = 12.5e9;
+  c.nic.latency = 1 * sim::kUs;
+
+  // GPFS (/p/gpfs1). Aggregate peak calibrated to the paper's Table IX
+  // ("64GB/s using 32 node IOR"): 24 servers x ~2.7GB/s ≈ 64GB/s.
+  c.pfs.name = "gpfs";
+  c.pfs.mount = "/p/gpfs1";
+  c.pfs.num_servers = 24;
+  c.pfs.server_bandwidth_bps = 2.7e9;
+  c.pfs.per_stream_bps = 2.0e9;
+  c.pfs.max_streams_per_server = 64;
+  c.pfs.data_latency = 250 * sim::kUs;
+  c.pfs.efficiency_bytes = 192 * util::kKiB;
+  c.pfs.stripe_size = util::kMiB;
+  c.pfs.stripe_count = 4;
+  c.pfs.metadata.concurrency = 16;
+  c.pfs.metadata.base_service = 150 * sim::kUs;
+  c.pfs.metadata.interference_per_waiter = 0.02;
+  c.pfs.metadata.max_inflation = 24.0;
+  c.pfs.client_cache_bytes = 512 * util::kMiB;
+  c.pfs.client_cache_bandwidth_bps = 8.0e9;
+  c.pfs.sync_latency_factor = 4.5;
+  c.pfs.sync_latency_exponent = 0.7;
+  c.pfs.small_read_latency_threshold = 16 * util::kKiB;
+
+  // Node-local tier: Lassen exposes /dev/shm (RAM) and /tmp; the paper's
+  // JAG table quotes 64 parallel ops and 32GB/s per node.
+  NodeLocalSpec shm;
+  shm.name = "shm";
+  shm.mount = "/dev/shm";
+  shm.capacity = 128 * util::kGiB;
+  shm.bandwidth_bps = 32.0e9;
+  shm.per_stream_bps = 12.0e9;
+  shm.parallel_ops = 64;
+  NodeLocalSpec tmp;
+  tmp.name = "tmp";
+  tmp.mount = "/tmp";
+  tmp.capacity = 200 * util::kGiB;
+  tmp.bandwidth_bps = 6.0e9;
+  tmp.per_stream_bps = 2.0e9;
+  tmp.parallel_ops = 64;
+  tmp.data_latency = 20 * sim::kUs;
+  tmp.meta_latency = 10 * sim::kUs;
+  c.node_local = {shm, tmp};
+  return c;
+}
+
+ClusterSpec cori(int nodes) {
+  ClusterSpec c;
+  c.name = "cori";
+  c.nodes = nodes;
+  c.node.cpu_cores = 32;  // Haswell partition
+  c.node.gpus = 0;
+  c.node.memory = 128 * util::kGiB;
+  c.nic.bandwidth_bps = 10.0e9;  // Aries
+  c.nic.latency = 1 * sim::kUs + 400;
+
+  // Lustre-style scratch.
+  c.pfs.name = "lustre";
+  c.pfs.mount = "/global/cscratch";
+  c.pfs.num_servers = 24;
+  c.pfs.server_bandwidth_bps = 3.0e9;
+  c.pfs.per_stream_bps = 1.5e9;
+  c.pfs.data_latency = 300 * sim::kUs;
+  c.pfs.efficiency_bytes = 256 * util::kKiB;
+  c.pfs.metadata.concurrency = 8;
+  c.pfs.metadata.base_service = 200 * sim::kUs;
+  c.pfs.client_cache_bytes = 512 * util::kMiB;
+  c.pfs.sync_latency_factor = 4.5;
+  c.pfs.small_read_latency_threshold = 16 * util::kKiB;
+
+  // DataWarp shared burst buffer.
+  c.shared_bb = BurstBufferSpec{};
+
+  NodeLocalSpec shm;
+  shm.capacity = 64 * util::kGiB;
+  c.node_local = {shm};
+  return c;
+}
+
+ClusterSpec tiny(int nodes) {
+  ClusterSpec c;
+  c.name = "tiny";
+  c.nodes = nodes;
+  c.node.cpu_cores = 4;
+  c.node.gpus = 1;
+  c.node.memory = 8 * util::kGiB;
+  c.pfs.num_servers = 4;
+  c.pfs.server_bandwidth_bps = 1.0e9;
+  c.pfs.per_stream_bps = 0.5e9;
+  c.pfs.metadata.concurrency = 4;
+  c.pfs.metadata.base_service = 100 * sim::kUs;
+  c.pfs.client_cache_bytes = 64 * util::kMiB;
+  c.node_local = {NodeLocalSpec{}};
+  c.node_local[0].capacity = 4 * util::kGiB;
+  return c;
+}
+
+}  // namespace wasp::cluster

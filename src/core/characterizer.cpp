@@ -1,0 +1,188 @@
+#include "core/characterizer.hpp"
+
+#include <algorithm>
+
+#include "trace/record.hpp"
+
+namespace wasp::charz {
+namespace {
+
+std::string join_mounts(const cluster::ClusterSpec& spec) {
+  std::string out;
+  for (const auto& nl : spec.node_local) {
+    if (!out.empty()) out += ",";
+    out += nl.mount;
+  }
+  return out.empty() ? "NA" : out;
+}
+
+/// Data granularity: the most frequent transfer size; metadata granularity:
+/// the smallest size that still accounts for >=10% of data ops (the paper
+/// quotes pairs like "1MB data / 4KB meta" for workloads whose small
+/// accesses come from library metadata).
+void granularities(const analysis::WorkloadProfile& p, util::Bytes& data_g,
+                   util::Bytes& meta_g) {
+  data_g = 0;
+  meta_g = 0;
+  if (p.size_frequencies.empty()) return;
+  data_g = p.size_frequencies.front().first;
+  std::uint64_t total = 0;
+  for (const auto& [sz, n] : p.size_frequencies) total += n;
+  util::Bytes smallest = data_g;
+  for (const auto& [sz, n] : p.size_frequencies) {
+    if (n * 10 >= total && sz < smallest && sz > 0) smallest = sz;
+  }
+  meta_g = smallest;
+}
+
+std::string pattern_label(double seq_fraction) {
+  if (seq_fraction >= 0.8) return "Seq";
+  if (seq_fraction <= 0.2) return "Random";
+  return "Mixed";
+}
+
+bool process_dependency(const analysis::FileStats& f) {
+  // Data written by some rank and read by more than the writer alone.
+  return f.writer_ranks > 0 && f.reader_ranks > 0 && f.accessor_ranks > 1;
+}
+
+}  // namespace
+
+WorkloadCharacterization Characterizer::characterize(
+    const WorkloadDecl& decl, const cluster::ClusterSpec& spec,
+    const analysis::WorkloadProfile& profile) const {
+  WorkloadCharacterization c;
+  c.workload = decl.name;
+
+  // --- Job configuration (JobUtility scope) ------------------------------
+  c.job.nodes = spec.nodes;
+  c.job.cpu_cores_per_node = spec.node.cpu_cores;
+  c.job.gpus_per_node = spec.node.gpus;
+  c.job.node_local_bb_dirs = join_mounts(spec);
+  c.job.shared_bb_dir =
+      spec.shared_bb.has_value() ? spec.shared_bb->mount : "NA";
+  c.job.pfs_dir = spec.pfs.mount;
+  c.job.job_time_limit_hours = decl.job_time_limit_hours;
+
+  // --- Workflow -----------------------------------------------------------
+  c.workflow.cpu_cores_used_per_node =
+      decl.cpu_cores_used_per_node > 0 ? decl.cpu_cores_used_per_node
+                                       : spec.node.cpu_cores;
+  c.workflow.gpus_used_per_node = decl.gpus_used_per_node;
+  c.workflow.num_apps = static_cast<int>(profile.apps.size());
+  c.workflow.has_app_data_dependency = !profile.app_edges.empty();
+  c.workflow.fpp_files = profile.fpp_files;
+  c.workflow.shared_files = profile.shared_files;
+  c.workflow.io_amount = profile.totals.io_bytes();
+  c.workflow.data_ops_fraction = profile.totals.data_op_fraction();
+  c.workflow.runtime_sec = profile.job_runtime_sec;
+
+  // --- Applications -------------------------------------------------------
+  bool any_proc_dep = false;
+  for (const auto& f : profile.files) {
+    if (process_dependency(f)) any_proc_dep = true;
+  }
+  for (const auto& a : profile.apps) {
+    ApplicationEntity app;
+    app.name = a.name;
+    app.num_processes = a.num_procs;
+    app.has_process_data_dependency = any_proc_dep;
+    app.fpp_files = a.fpp_files;
+    app.shared_files = a.shared_files;
+    app.io_amount = a.ops.io_bytes();
+    app.data_ops_fraction = a.ops.data_op_fraction();
+    app.interface = trace::to_string(a.interface);
+    app.runtime_sec = a.runtime_sec();
+    c.applications.push_back(std::move(app));
+  }
+
+  // --- First I/O phase per app (Table V semantics) ------------------------
+  for (const auto& a : profile.apps) {
+    const analysis::Phase* ph = profile.first_phase(a.app);
+    if (ph == nullptr) continue;
+    IoPhaseEntity e;
+    e.app = a.name;
+    e.index = 0;
+    e.io_amount = ph->ops.io_bytes();
+    e.data_ops_fraction = ph->ops.data_op_fraction();
+    e.frequency = ph->frequency_label();
+    e.runtime_sec = ph->runtime_sec();
+    c.phases.push_back(std::move(e));
+  }
+
+  // --- Software: high-level I/O ------------------------------------------
+  util::Bytes data_g = 0;
+  util::Bytes meta_g = 0;
+  granularities(profile, data_g, meta_g);
+  c.high_level_io.data_repr = decl.data_repr;
+  c.high_level_io.data_granularity = data_g;
+  c.high_level_io.meta_granularity = meta_g;
+  c.high_level_io.access_pattern = pattern_label(profile.sequential_fraction);
+  c.high_level_io.data_distribution = decl.data_distribution;
+
+  // --- Software: middleware ----------------------------------------------
+  c.middleware.extra_io_cores_per_node =
+      std::max(0, spec.node.cpu_cores - c.workflow.cpu_cores_used_per_node);
+  c.middleware.data_granularity = data_g;
+  c.middleware.meta_granularity = meta_g;
+  c.middleware.memory_per_node =
+      spec.node.memory > decl.app_memory_per_node
+          ? spec.node.memory - decl.app_memory_per_node
+          : 0;
+  c.middleware.access_pattern = c.high_level_io.access_pattern;
+
+  // --- Software: storage tiers -------------------------------------------
+  for (const auto& nl : spec.node_local) {
+    NodeLocalStorageEntity e;
+    e.dir = nl.mount;
+    e.parallel_ops = static_cast<int>(nl.parallel_ops);
+    e.capacity_per_node = nl.capacity;
+    e.max_bandwidth_bps = nl.bandwidth_bps;
+    c.node_local.push_back(std::move(e));
+  }
+  c.shared_storage.dir = spec.pfs.mount;
+  c.shared_storage.parallel_servers = spec.pfs.num_servers;
+  c.shared_storage.capacity = spec.pfs.capacity;
+  c.shared_storage.max_bandwidth_bps =
+      spec.pfs.server_bandwidth_bps * spec.pfs.num_servers;
+
+  // --- Data: dataset -------------------------------------------------------
+  c.dataset.format = decl.dataset_format;
+  util::Bytes dataset_size = 0;
+  for (const auto& f : profile.files) dataset_size += f.size;
+  c.dataset.size = dataset_size;
+  c.dataset.num_files = profile.files.size();
+  c.dataset.io_amount = profile.totals.io_bytes();
+  c.dataset.io_time_sec =
+      profile.num_procs > 0
+          ? profile.totals.io_sec() / static_cast<double>(profile.num_procs)
+          : 0.0;
+  c.dataset.data_ops_fraction = profile.totals.data_op_fraction();
+  c.dataset.file_size_dist = decl.file_size_dist.empty()
+                                 ? util::format_bytes(
+                                       profile.files.empty()
+                                           ? 0
+                                           : dataset_size /
+                                                 std::max<std::uint64_t>(
+                                                     profile.files.size(), 1))
+                                 : decl.file_size_dist;
+
+  // --- Data: representative file (largest by I/O volume) ------------------
+  const analysis::FileStats* rep = nullptr;
+  for (const auto& f : profile.files) {
+    if (rep == nullptr || f.ops.io_bytes() > rep->ops.io_bytes()) rep = &f;
+  }
+  if (rep != nullptr) {
+    c.file.path = rep->path;
+    c.file.format = decl.dataset_format;
+    c.file.size = rep->size;
+    c.file.io_amount = rep->ops.io_bytes();
+    c.file.io_time_sec = rep->ops.io_sec();
+    c.file.data_ops_fraction = rep->ops.data_op_fraction();
+    c.file.format_attributes = decl.format_attributes;
+  }
+
+  return c;
+}
+
+}  // namespace wasp::charz

@@ -1,0 +1,38 @@
+// Builds a WorkloadCharacterization from three inputs, mirroring the Vani
+// pipeline:
+//   * JobUtility-level facts   — the cluster/job configuration (ClusterSpec)
+//   * Analyzer-level facts     — the measured WorkloadProfile
+//   * workload declarations    — properties not observable from traces
+//                                (logical data representation, value
+//                                distribution, dataset format semantics)
+#pragma once
+
+#include "analysis/profile.hpp"
+#include "cluster/spec.hpp"
+#include "core/entities.hpp"
+
+namespace wasp::charz {
+
+/// Attributes the application owner declares about the workload (everything
+/// else is extracted automatically).
+struct WorkloadDecl {
+  std::string name = "workload";
+  std::string data_repr = "1D";
+  std::string data_distribution = "uniform";
+  std::string dataset_format = "bin";
+  std::string format_attributes = "NA";
+  std::string file_size_dist;  ///< free-form, e.g. "1GB data / 16MB config"
+  double job_time_limit_hours = 2.0;
+  int cpu_cores_used_per_node = 0;  ///< 0 = all
+  int gpus_used_per_node = 0;
+  util::Bytes app_memory_per_node = 0;  ///< memory the app itself occupies
+};
+
+class Characterizer {
+ public:
+  WorkloadCharacterization characterize(
+      const WorkloadDecl& decl, const cluster::ClusterSpec& spec,
+      const analysis::WorkloadProfile& profile) const;
+};
+
+}  // namespace wasp::charz

@@ -1,0 +1,192 @@
+#include "core/entities.hpp"
+
+#include "util/yaml.hpp"
+
+namespace wasp::charz {
+namespace {
+
+std::string fmt_bool(bool v) { return v ? "yes" : "NA"; }
+
+std::string fmt_ops_dist(double data_fraction) {
+  return util::format_percent(data_fraction) + " data, " +
+         util::format_percent(1.0 - data_fraction) + " meta";
+}
+
+void emit(util::yaml::Writer& y, const AttrList& attrs) {
+  for (const auto& [k, v] : attrs) y.scalar(k, v);
+}
+
+}  // namespace
+
+AttrList JobConfigEntity::attributes() const {
+  return {
+      {"nodes", std::to_string(nodes)},
+      {"cpu_cores_per_node", std::to_string(cpu_cores_per_node)},
+      {"gpus_per_node", std::to_string(gpus_per_node)},
+      {"node_local_bb_dir", node_local_bb_dirs},
+      {"shared_bb_dir", shared_bb_dir},
+      {"pfs_dir", pfs_dir},
+      {"job_time_limit", util::format_seconds(job_time_limit_hours * 3600)},
+  };
+}
+
+AttrList WorkflowEntity::attributes() const {
+  return {
+      {"cpu_cores_used_per_node", std::to_string(cpu_cores_used_per_node)},
+      {"gpus_used_per_node", std::to_string(gpus_used_per_node)},
+      {"num_apps", std::to_string(num_apps)},
+      {"app_data_dependency", fmt_bool(has_app_data_dependency)},
+      {"fpp_shared_file_access", std::to_string(fpp_files) + "/" +
+                                     std::to_string(shared_files)},
+      {"io_amount", util::format_bytes(io_amount)},
+      {"io_ops_dist", fmt_ops_dist(data_ops_fraction)},
+      {"runtime", util::format_seconds(runtime_sec)},
+  };
+}
+
+AttrList ApplicationEntity::attributes() const {
+  return {
+      {"name", name},
+      {"num_processes", std::to_string(num_processes)},
+      {"process_data_dependency", fmt_bool(has_process_data_dependency)},
+      {"fpp_shared_file_access", std::to_string(fpp_files) + "/" +
+                                     std::to_string(shared_files)},
+      {"io_amount", util::format_bytes(io_amount)},
+      {"io_ops_dist", fmt_ops_dist(data_ops_fraction)},
+      {"interface", interface},
+      {"runtime", util::format_seconds(runtime_sec)},
+  };
+}
+
+AttrList IoPhaseEntity::attributes() const {
+  return {
+      {"app", app},
+      {"phase", std::to_string(index)},
+      {"io_amount", util::format_bytes(io_amount)},
+      {"io_ops_dist", fmt_ops_dist(data_ops_fraction)},
+      {"frequency", frequency},
+      {"runtime", util::format_seconds(runtime_sec)},
+  };
+}
+
+AttrList HighLevelIoEntity::attributes() const {
+  return {
+      {"data_repr", data_repr},
+      {"granularity_data", util::format_bytes(data_granularity)},
+      {"granularity_meta", util::format_bytes(meta_granularity)},
+      {"access_pattern", access_pattern},
+      {"data_dist", data_distribution},
+  };
+}
+
+AttrList MiddlewareEntity::attributes() const {
+  return {
+      {"extra_io_cores_per_node", std::to_string(extra_io_cores_per_node)},
+      {"granularity_data", util::format_bytes(data_granularity)},
+      {"granularity_meta", util::format_bytes(meta_granularity)},
+      {"memory_per_node", util::format_bytes(memory_per_node)},
+      {"access_pattern", access_pattern},
+  };
+}
+
+AttrList NodeLocalStorageEntity::attributes() const {
+  return {
+      {"dir", dir},
+      {"parallel_ops", std::to_string(parallel_ops)},
+      {"capacity_per_node", util::format_bytes(capacity_per_node)},
+      {"max_io_bw_per_node", util::format_rate(max_bandwidth_bps)},
+  };
+}
+
+AttrList SharedStorageEntity::attributes() const {
+  return {
+      {"dir", dir},
+      {"parallel_servers", std::to_string(parallel_servers)},
+      {"capacity", util::format_bytes(capacity)},
+      {"max_io_bw", util::format_rate(max_bandwidth_bps)},
+  };
+}
+
+AttrList DatasetEntity::attributes() const {
+  return {
+      {"format", format},
+      {"size", util::format_bytes(size)},
+      {"num_files", std::to_string(num_files)},
+      {"io_amount", util::format_bytes(io_amount)},
+      {"io_time", util::format_seconds(io_time_sec)},
+      {"io_ops_dist", fmt_ops_dist(data_ops_fraction)},
+      {"file_size_dist", file_size_dist},
+  };
+}
+
+AttrList FileEntity::attributes() const {
+  return {
+      {"path", path},
+      {"format", format},
+      {"size", util::format_bytes(size)},
+      {"io_amount", util::format_bytes(io_amount)},
+      {"io_time", util::format_seconds(io_time_sec)},
+      {"io_ops_dist", fmt_ops_dist(data_ops_fraction)},
+      {"format_attributes", format_attributes},
+  };
+}
+
+std::string WorkloadCharacterization::to_yaml() const {
+  util::yaml::Writer y;
+  y.scalar("workload", workload);
+
+  y.begin_map("job");
+  y.begin_map("job_configuration");
+  emit(y, job.attributes());
+  y.end_map();
+  y.begin_map("workflow");
+  emit(y, workflow.attributes());
+  y.end_map();
+  y.begin_seq("applications");
+  for (const auto& a : applications) {
+    y.begin_seq_item_map();
+    emit(y, a.attributes());
+    y.end_map();
+  }
+  y.end_seq();
+  y.begin_seq("io_phases");
+  for (const auto& ph : phases) {
+    y.begin_seq_item_map();
+    emit(y, ph.attributes());
+    y.end_map();
+  }
+  y.end_seq();
+  y.end_map();
+
+  y.begin_map("software");
+  y.begin_map("high_level_io");
+  emit(y, high_level_io.attributes());
+  y.end_map();
+  y.begin_map("middleware");
+  emit(y, middleware.attributes());
+  y.end_map();
+  y.begin_seq("node_local_storage");
+  for (const auto& nl : node_local) {
+    y.begin_seq_item_map();
+    emit(y, nl.attributes());
+    y.end_map();
+  }
+  y.end_seq();
+  y.begin_map("shared_storage");
+  emit(y, shared_storage.attributes());
+  y.end_map();
+  y.end_map();
+
+  y.begin_map("data");
+  y.begin_map("dataset");
+  emit(y, dataset.attributes());
+  y.end_map();
+  y.begin_map("file");
+  emit(y, file.attributes());
+  y.end_map();
+  y.end_map();
+
+  return y.str();
+}
+
+}  // namespace wasp::charz

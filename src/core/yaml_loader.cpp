@@ -1,0 +1,190 @@
+#include "core/yaml_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+#include "util/yaml_reader.hpp"
+
+namespace wasp::charz {
+namespace {
+
+using util::yaml::Node;
+
+int to_int(const std::string& v, int fallback = 0) {
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::uint64_t to_u64(const std::string& v, std::uint64_t fallback = 0) {
+  try {
+    return std::stoull(v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+util::Bytes bytes_of(const Node& n, const std::string& key) {
+  return util::parse_bytes(n.get(key, "0B")).value_or(0);
+}
+
+double seconds_of(const Node& n, const std::string& key) {
+  return util::parse_seconds(n.get(key, "0s")).value_or(0);
+}
+
+double ops_dist_of(const Node& n, const std::string& key) {
+  return util::parse_ops_dist(n.get(key, "")).value_or(0);
+}
+
+void load_fpp_shared(const Node& n, std::uint64_t& fpp,
+                     std::uint64_t& shared) {
+  auto parsed = util::parse_fpp_shared(n.get("fpp_shared_file_access", ""));
+  if (parsed) {
+    fpp = parsed->first;
+    shared = parsed->second;
+  }
+}
+
+bool flag_of(const Node& n, const std::string& key) {
+  return n.get(key, "NA") == "yes";
+}
+
+}  // namespace
+
+WorkloadCharacterization from_yaml(const std::string& text) {
+  const Node root = util::yaml::parse(text);
+  WASP_CHECK_MSG(root.is_map(), "characterization YAML must be a map");
+  WorkloadCharacterization c;
+  c.workload = root.get("workload", "workload");
+
+  const Node* job = root.find("job");
+  WASP_CHECK_MSG(job != nullptr && job->is_map(),
+                 "characterization YAML missing 'job'");
+  if (const Node* jc = job->find("job_configuration"); jc != nullptr) {
+    c.job.nodes = to_int(jc->get("nodes"));
+    c.job.cpu_cores_per_node = to_int(jc->get("cpu_cores_per_node"));
+    c.job.gpus_per_node = to_int(jc->get("gpus_per_node"));
+    c.job.node_local_bb_dirs = jc->get("node_local_bb_dir", "NA");
+    c.job.shared_bb_dir = jc->get("shared_bb_dir", "NA");
+    c.job.pfs_dir = jc->get("pfs_dir");
+    c.job.job_time_limit_hours =
+        util::parse_seconds(jc->get("job_time_limit", "0s")).value_or(0) /
+        3600.0;
+  }
+  if (const Node* wf = job->find("workflow"); wf != nullptr) {
+    c.workflow.cpu_cores_used_per_node =
+        to_int(wf->get("cpu_cores_used_per_node"));
+    c.workflow.gpus_used_per_node = to_int(wf->get("gpus_used_per_node"));
+    c.workflow.num_apps = to_int(wf->get("num_apps"));
+    c.workflow.has_app_data_dependency = flag_of(*wf, "app_data_dependency");
+    load_fpp_shared(*wf, c.workflow.fpp_files, c.workflow.shared_files);
+    c.workflow.io_amount = bytes_of(*wf, "io_amount");
+    c.workflow.data_ops_fraction = ops_dist_of(*wf, "io_ops_dist");
+    c.workflow.runtime_sec = seconds_of(*wf, "runtime");
+  }
+  if (const Node* apps = job->find("applications");
+      apps != nullptr && apps->is_seq()) {
+    for (const Node& item : apps->items()) {
+      ApplicationEntity app;
+      app.name = item.get("name");
+      app.num_processes = to_int(item.get("num_processes"));
+      app.has_process_data_dependency =
+          flag_of(item, "process_data_dependency");
+      load_fpp_shared(item, app.fpp_files, app.shared_files);
+      app.io_amount = bytes_of(item, "io_amount");
+      app.data_ops_fraction = ops_dist_of(item, "io_ops_dist");
+      app.interface = item.get("interface");
+      app.runtime_sec = seconds_of(item, "runtime");
+      c.applications.push_back(std::move(app));
+    }
+  }
+  if (const Node* phases = job->find("io_phases");
+      phases != nullptr && phases->is_seq()) {
+    for (const Node& item : phases->items()) {
+      IoPhaseEntity ph;
+      ph.app = item.get("app");
+      ph.index = to_int(item.get("phase"));
+      ph.io_amount = bytes_of(item, "io_amount");
+      ph.data_ops_fraction = ops_dist_of(item, "io_ops_dist");
+      ph.frequency = item.get("frequency");
+      ph.runtime_sec = seconds_of(item, "runtime");
+      c.phases.push_back(std::move(ph));
+    }
+  }
+
+  const Node* sw = root.find("software");
+  WASP_CHECK_MSG(sw != nullptr && sw->is_map(),
+                 "characterization YAML missing 'software'");
+  if (const Node* hl = sw->find("high_level_io"); hl != nullptr) {
+    c.high_level_io.data_repr = hl->get("data_repr");
+    c.high_level_io.data_granularity = bytes_of(*hl, "granularity_data");
+    c.high_level_io.meta_granularity = bytes_of(*hl, "granularity_meta");
+    c.high_level_io.access_pattern = hl->get("access_pattern");
+    c.high_level_io.data_distribution = hl->get("data_dist");
+  }
+  if (const Node* mw = sw->find("middleware"); mw != nullptr) {
+    c.middleware.extra_io_cores_per_node =
+        to_int(mw->get("extra_io_cores_per_node"));
+    c.middleware.data_granularity = bytes_of(*mw, "granularity_data");
+    c.middleware.meta_granularity = bytes_of(*mw, "granularity_meta");
+    c.middleware.memory_per_node = bytes_of(*mw, "memory_per_node");
+    c.middleware.access_pattern = mw->get("access_pattern");
+  }
+  if (const Node* nls = sw->find("node_local_storage");
+      nls != nullptr && nls->is_seq()) {
+    for (const Node& item : nls->items()) {
+      NodeLocalStorageEntity e;
+      e.dir = item.get("dir");
+      e.parallel_ops = to_int(item.get("parallel_ops"));
+      e.capacity_per_node = bytes_of(item, "capacity_per_node");
+      e.max_bandwidth_bps =
+          util::parse_rate(item.get("max_io_bw_per_node", "0B/s"))
+              .value_or(0);
+      c.node_local.push_back(std::move(e));
+    }
+  }
+  if (const Node* ss = sw->find("shared_storage"); ss != nullptr) {
+    c.shared_storage.dir = ss->get("dir");
+    c.shared_storage.parallel_servers = to_int(ss->get("parallel_servers"));
+    c.shared_storage.capacity = bytes_of(*ss, "capacity");
+    c.shared_storage.max_bandwidth_bps =
+        util::parse_rate(ss->get("max_io_bw", "0B/s")).value_or(0);
+  }
+
+  const Node* data = root.find("data");
+  WASP_CHECK_MSG(data != nullptr && data->is_map(),
+                 "characterization YAML missing 'data'");
+  if (const Node* ds = data->find("dataset"); ds != nullptr) {
+    c.dataset.format = ds->get("format");
+    c.dataset.size = bytes_of(*ds, "size");
+    c.dataset.num_files = to_u64(ds->get("num_files"));
+    c.dataset.io_amount = bytes_of(*ds, "io_amount");
+    c.dataset.io_time_sec = seconds_of(*ds, "io_time");
+    c.dataset.data_ops_fraction = ops_dist_of(*ds, "io_ops_dist");
+    c.dataset.file_size_dist = ds->get("file_size_dist");
+  }
+  if (const Node* f = data->find("file"); f != nullptr) {
+    c.file.path = f->get("path");
+    c.file.format = f->get("format");
+    c.file.size = bytes_of(*f, "size");
+    c.file.io_amount = bytes_of(*f, "io_amount");
+    c.file.io_time_sec = seconds_of(*f, "io_time");
+    c.file.data_ops_fraction = ops_dist_of(*f, "io_ops_dist");
+    c.file.format_attributes = f->get("format_attributes");
+  }
+  return c;
+}
+
+WorkloadCharacterization load_yaml_file(const std::string& path) {
+  std::ifstream is(path);
+  WASP_CHECK_MSG(is.good(), "cannot open characterization file: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return from_yaml(buf.str());
+}
+
+}  // namespace wasp::charz

@@ -1,0 +1,23 @@
+// Load a WorkloadCharacterization back from its Vani-style YAML document —
+// the paper's end vision: "these features can be loaded by any storage
+// system and perform automatic configurations for optimizing I/O".
+//
+// Together with advisor::RuleEngine this closes the loop: a user ships a
+// feature file with their job script; the storage system parses it and
+// configures itself without ever seeing the original trace.
+#pragma once
+
+#include <string>
+
+#include "core/entities.hpp"
+
+namespace wasp::charz {
+
+/// Parse a document produced by WorkloadCharacterization::to_yaml().
+/// Throws util::SimError on documents outside the supported schema.
+WorkloadCharacterization from_yaml(const std::string& text);
+
+/// Convenience: load from a file.
+WorkloadCharacterization load_yaml_file(const std::string& path);
+
+}  // namespace wasp::charz

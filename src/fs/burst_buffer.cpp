@@ -1,0 +1,58 @@
+#include "fs/burst_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wasp::fs {
+
+BurstBufferFS::BurstBufferFS(sim::Engine& eng,
+                             const cluster::BurstBufferSpec& spec)
+    : eng_(eng), spec_(spec) {
+  servers_.reserve(static_cast<std::size_t>(spec_.num_servers));
+  for (int i = 0; i < spec_.num_servers; ++i) {
+    sim::SharedLink::Config cfg;
+    cfg.capacity_bps = spec_.server_bandwidth_bps;
+    cfg.per_stream_bps = spec_.per_stream_bps;
+    cfg.max_streams = spec_.max_streams_per_server;
+    cfg.latency = spec_.data_latency;
+    cfg.efficiency_bytes = spec_.efficiency_bytes;
+    servers_.push_back(std::make_unique<sim::SharedLink>(eng, cfg));
+  }
+}
+
+sim::Task<void> BurstBufferFS::meta(ProcSite, MetaOp, FileId) {
+  ++counters_.meta_ops;
+  // Distributed KV metadata: constant low latency, no central bottleneck.
+  co_await sim::Delay(eng_, spec_.meta_latency);
+}
+
+sim::Task<void> BurstBufferFS::io(const IoRequest& req) {
+  WASP_CHECK_MSG(req.file != kInvalidFile, "io on invalid file");
+  counters_.data_ops += req.op_count;
+  const Bytes total = req.total_bytes();
+  if (req.kind == IoKind::kRead) {
+    counters_.bytes_read += total;
+  } else {
+    counters_.bytes_written += total;
+    ns_.inode(req.file).version++;
+  }
+  const auto server = static_cast<std::size_t>(
+      (req.file * 131 + req.offset / std::max<Bytes>(spec_.shard_size, 1)) %
+      static_cast<Bytes>(spec_.num_servers));
+  co_await servers_[server]->transfer(total, req.size);
+}
+
+Bytes BurstBufferFS::free_bytes(ProcSite) const {
+  return used_ >= spec_.capacity ? 0 : spec_.capacity - used_;
+}
+
+void BurstBufferFS::note_growth(ProcSite, std::int64_t delta) {
+  if (delta < 0 && static_cast<Bytes>(-delta) > used_) {
+    used_ = 0;
+    return;
+  }
+  used_ = static_cast<Bytes>(static_cast<std::int64_t>(used_) + delta);
+}
+
+}  // namespace wasp::fs

@@ -1,0 +1,48 @@
+// Shared burst-buffer tier (Cray DataWarp-style, as deployed on Cori —
+// one of the §II-B storage systems the paper catalogs).
+//
+// Differences from the PFS model:
+//  * SSD-class servers: higher aggregate bandwidth per capacity, low
+//    latency, no small-transfer cliff,
+//  * distributed key-value metadata — no central MDS to storm,
+//  * capacity-limited staging space; persistence is the caller's problem
+//    (the paper's DisablePersistent discussion) — hence the async-drain
+//    optimization pairs checkpoint writes here with background copies to
+//    the PFS.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "fs/filesystem.hpp"
+#include "sim/link.hpp"
+
+namespace wasp::fs {
+
+class BurstBufferFS final : public FileSystemSim {
+ public:
+  BurstBufferFS(sim::Engine& eng, const cluster::BurstBufferSpec& spec);
+
+  const std::string& mount() const noexcept override { return spec_.mount; }
+  const std::string& name() const noexcept override { return spec_.name; }
+  bool shared() const noexcept override { return true; }
+  Namespace& ns(ProcSite) override { return ns_; }
+
+  sim::Task<void> meta(ProcSite site, MetaOp op, FileId file) override;
+  sim::Task<void> io(const IoRequest& req) override;
+  Bytes free_bytes(ProcSite site) const override;
+  void note_growth(ProcSite site, std::int64_t delta) override;
+
+  const cluster::BurstBufferSpec& spec() const noexcept { return spec_; }
+  Bytes used_bytes() const noexcept { return used_; }
+
+ private:
+  sim::Engine& eng_;
+  cluster::BurstBufferSpec spec_;
+  Namespace ns_;
+  std::vector<std::unique_ptr<sim::SharedLink>> servers_;
+  Bytes used_ = 0;
+};
+
+}  // namespace wasp::fs

@@ -1,0 +1,64 @@
+// Abstract timing/contention model of a mounted filesystem.
+//
+// Semantics (open tables, offsets, sizes) live in the interface layers
+// (io/posix.hpp and friends); a FileSystemSim only answers two questions:
+// how long does this metadata op take, and how long does this data request
+// take — given where it comes from and what else is in flight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/namespace.hpp"
+#include "fs/types.hpp"
+#include "sim/task.hpp"
+
+namespace wasp::fs {
+
+/// Running totals a filesystem keeps about itself (tests + Table IX-style
+/// reporting; per-workload numbers come from the tracer instead).
+struct FsCounters {
+  std::uint64_t meta_ops = 0;
+  std::uint64_t data_ops = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+class FileSystemSim {
+ public:
+  virtual ~FileSystemSim() = default;
+
+  virtual const std::string& mount() const noexcept = 0;
+  virtual const std::string& name() const noexcept = 0;
+
+  /// True when all nodes see one namespace (PFS); false for node-local
+  /// tiers, whose inode ids are only unique per node.
+  virtual bool shared() const noexcept = 0;
+
+  /// Namespace visible from `site` (shared FS: one global; node-local FS:
+  /// one per node).
+  virtual Namespace& ns(ProcSite site) = 0;
+
+  /// Pay the cost of one metadata operation.
+  virtual sim::Task<void> meta(ProcSite site, MetaOp op, FileId file) = 0;
+
+  /// Pay the cost of a (coalesced) data request. Size bookkeeping on the
+  /// inode is done by the caller.
+  virtual sim::Task<void> io(const IoRequest& req) = 0;
+
+  /// Bytes a new write may still grow this filesystem by from `site`
+  /// (node-local tiers are capacity-limited per node).
+  virtual Bytes free_bytes(ProcSite site) const = 0;
+
+  /// Incremental usage accounting; called by the interface layer whenever an
+  /// inode grows or shrinks (negative delta on unlink/truncate).
+  virtual void note_growth(ProcSite site, std::int64_t delta) = 0;
+
+  const FsCounters& counters() const noexcept { return counters_; }
+
+ protected:
+  FsCounters counters_;
+};
+
+}  // namespace wasp::fs

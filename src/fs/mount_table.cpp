@@ -1,0 +1,38 @@
+#include "fs/mount_table.hpp"
+
+#include "util/error.hpp"
+
+namespace wasp::fs {
+namespace {
+
+bool prefix_matches(const std::string& path, const std::string& mount) {
+  if (path.rfind(mount, 0) != 0) return false;
+  // "/p/gpfs1" must not claim "/p/gpfs1x"; exact match or a '/' boundary.
+  return path.size() == mount.size() || path[mount.size()] == '/' ||
+         (!mount.empty() && mount.back() == '/');
+}
+
+}  // namespace
+
+void MountTable::add(FileSystemSim& fs) { mounts_.push_back(&fs); }
+
+FileSystemSim* MountTable::try_resolve(const std::string& path) const noexcept {
+  FileSystemSim* best = nullptr;
+  std::size_t best_len = 0;
+  for (FileSystemSim* fs : mounts_) {
+    const std::string& m = fs->mount();
+    if (prefix_matches(path, m) && m.size() >= best_len) {
+      best = fs;
+      best_len = m.size();
+    }
+  }
+  return best;
+}
+
+FileSystemSim& MountTable::resolve(const std::string& path) const {
+  FileSystemSim* fs = try_resolve(path);
+  WASP_CHECK_MSG(fs != nullptr, "no mount for path: " + path);
+  return *fs;
+}
+
+}  // namespace wasp::fs

@@ -1,0 +1,31 @@
+// Longest-prefix mount resolution: "/p/gpfs1/..." -> ParallelFS,
+// "/dev/shm/..." -> NodeLocalFS, etc.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.hpp"
+
+namespace wasp::fs {
+
+class MountTable {
+ public:
+  /// Register a filesystem at its own mount() prefix. Later registrations
+  /// with a longer prefix win for paths under both.
+  void add(FileSystemSim& fs);
+
+  /// Filesystem owning `path`; throws SimError if no mount matches.
+  FileSystemSim& resolve(const std::string& path) const;
+  /// nullptr instead of throwing.
+  FileSystemSim* try_resolve(const std::string& path) const noexcept;
+
+  const std::vector<FileSystemSim*>& mounts() const noexcept {
+    return mounts_;
+  }
+
+ private:
+  std::vector<FileSystemSim*> mounts_;
+};
+
+}  // namespace wasp::fs

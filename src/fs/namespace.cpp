@@ -1,0 +1,58 @@
+#include "fs/namespace.hpp"
+
+#include "util/error.hpp"
+
+namespace wasp::fs {
+
+FileId Namespace::create(const std::string& path, sim::Time now, int rank,
+                         int node) {
+  if (auto it = by_path_.find(path); it != by_path_.end()) {
+    return it->second;
+  }
+  const FileId id = inodes_.size();
+  Inode inode;
+  inode.id = id;
+  inode.path = path;
+  inode.created = now;
+  inode.modified = now;
+  inode.creator_rank = rank;
+  inode.creator_node = node;
+  inodes_.push_back(std::move(inode));
+  by_path_.emplace(path, id);
+  return id;
+}
+
+std::optional<FileId> Namespace::lookup(const std::string& path) const {
+  if (auto it = by_path_.find(path); it != by_path_.end()) return it->second;
+  return std::nullopt;
+}
+
+Inode& Namespace::inode(FileId id) {
+  WASP_CHECK_MSG(id < inodes_.size(), "unknown inode");
+  return inodes_[id];
+}
+
+const Inode& Namespace::inode(FileId id) const {
+  WASP_CHECK_MSG(id < inodes_.size(), "unknown inode");
+  return inodes_[id];
+}
+
+bool Namespace::unlink(const std::string& path) {
+  return by_path_.erase(path) > 0;
+}
+
+std::vector<std::string> Namespace::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, id] : by_path_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+Bytes Namespace::total_bytes() const noexcept {
+  Bytes total = 0;
+  for (const auto& [path, id] : by_path_) total += inodes_[id].size;
+  return total;
+}
+
+}  // namespace wasp::fs

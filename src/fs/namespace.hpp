@@ -1,0 +1,60 @@
+// In-memory namespace of one simulated filesystem: path -> inode. Content is
+// not stored (only sizes and extents), so simulating a 1.5TB dataset costs a
+// few bytes per file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/types.hpp"
+#include "sim/engine.hpp"
+
+namespace wasp::fs {
+
+struct Inode {
+  FileId id = kInvalidFile;
+  std::string path;
+  Bytes size = 0;
+  sim::Time created = 0;
+  sim::Time modified = 0;
+  int creator_rank = -1;
+  int creator_node = -1;
+  /// Bumped on every write; client caches use it for validity checks.
+  std::uint64_t version = 0;
+};
+
+class Namespace {
+ public:
+  /// Create the file if absent; returns its id either way.
+  FileId create(const std::string& path, sim::Time now, int rank, int node);
+
+  std::optional<FileId> lookup(const std::string& path) const;
+  bool exists(const std::string& path) const {
+    return lookup(path).has_value();
+  }
+
+  Inode& inode(FileId id);
+  const Inode& inode(FileId id) const;
+
+  /// Remove a path; returns false if absent. The inode slot stays allocated
+  /// (ids are never reused) so late references in traces stay resolvable.
+  bool unlink(const std::string& path);
+
+  /// All live paths with the given prefix (simple readdir model).
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  std::size_t file_count() const noexcept { return by_path_.size(); }
+  Bytes total_bytes() const noexcept;
+
+  /// Every inode ever created (including unlinked), for trace resolution.
+  const std::vector<Inode>& inodes() const noexcept { return inodes_; }
+
+ private:
+  std::unordered_map<std::string, FileId> by_path_;
+  std::vector<Inode> inodes_;
+};
+
+}  // namespace wasp::fs

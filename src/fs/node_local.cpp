@@ -1,0 +1,70 @@
+#include "fs/node_local.hpp"
+
+#include "util/error.hpp"
+
+namespace wasp::fs {
+
+NodeLocalFS::NodeLocalFS(sim::Engine& eng, const cluster::NodeLocalSpec& spec,
+                         int num_nodes)
+    : eng_(eng), spec_(spec) {
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    sim::SharedLink::Config cfg;
+    cfg.capacity_bps = spec_.bandwidth_bps;
+    cfg.per_stream_bps = spec_.per_stream_bps;
+    cfg.max_streams = spec_.parallel_ops;
+    cfg.latency = spec_.data_latency;
+    cfg.efficiency_bytes = spec_.efficiency_bytes;
+    PerNode pn;
+    pn.link = std::make_unique<sim::SharedLink>(eng, cfg);
+    nodes_.push_back(std::move(pn));
+  }
+}
+
+Namespace& NodeLocalFS::ns(ProcSite site) {
+  WASP_CHECK_MSG(site.node >= 0 && site.node < num_nodes(),
+                 "node out of range for node-local fs");
+  return nodes_[static_cast<std::size_t>(site.node)].ns;
+}
+
+sim::Task<void> NodeLocalFS::meta(ProcSite site, MetaOp, FileId) {
+  WASP_CHECK(site.node >= 0 && site.node < num_nodes());
+  ++counters_.meta_ops;
+  co_await sim::Delay(eng_, spec_.meta_latency);
+}
+
+sim::Task<void> NodeLocalFS::io(const IoRequest& req) {
+  WASP_CHECK(req.site.node >= 0 && req.site.node < num_nodes());
+  counters_.data_ops += req.op_count;
+  const Bytes total = req.total_bytes();
+  if (req.kind == IoKind::kRead) {
+    counters_.bytes_read += total;
+  } else {
+    counters_.bytes_written += total;
+    ns(req.site).inode(req.file).version++;
+  }
+  co_await nodes_[static_cast<std::size_t>(req.site.node)].link->transfer(
+      total, req.size);
+}
+
+Bytes NodeLocalFS::used_bytes(int node) const {
+  WASP_CHECK(node >= 0 && node < num_nodes());
+  return nodes_[static_cast<std::size_t>(node)].used;
+}
+
+Bytes NodeLocalFS::free_bytes(ProcSite site) const {
+  const Bytes used = used_bytes(site.node);
+  return used >= spec_.capacity ? 0 : spec_.capacity - used;
+}
+
+void NodeLocalFS::note_growth(ProcSite site, std::int64_t delta) {
+  WASP_CHECK(site.node >= 0 && site.node < num_nodes());
+  Bytes& used = nodes_[static_cast<std::size_t>(site.node)].used;
+  if (delta < 0 && static_cast<Bytes>(-delta) > used) {
+    used = 0;
+    return;
+  }
+  used = static_cast<Bytes>(static_cast<std::int64_t>(used) + delta);
+}
+
+}  // namespace wasp::fs

@@ -1,0 +1,48 @@
+// Node-local storage tier (/dev/shm RAM disk or /tmp SSD): one independent
+// namespace and channel per node — no cross-node contention, microsecond
+// metadata. This is the tier the paper's case studies redirect I/O onto.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "fs/filesystem.hpp"
+#include "sim/link.hpp"
+
+namespace wasp::fs {
+
+class NodeLocalFS final : public FileSystemSim {
+ public:
+  NodeLocalFS(sim::Engine& eng, const cluster::NodeLocalSpec& spec,
+              int num_nodes);
+
+  const std::string& mount() const noexcept override { return spec_.mount; }
+  const std::string& name() const noexcept override { return spec_.name; }
+  bool shared() const noexcept override { return false; }
+  Namespace& ns(ProcSite site) override;
+
+  sim::Task<void> meta(ProcSite site, MetaOp op, FileId file) override;
+  sim::Task<void> io(const IoRequest& req) override;
+  Bytes free_bytes(ProcSite site) const override;
+  void note_growth(ProcSite site, std::int64_t delta) override;
+
+  const cluster::NodeLocalSpec& spec() const noexcept { return spec_; }
+  int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  /// Bytes currently stored on one node (capacity accounting).
+  Bytes used_bytes(int node) const;
+
+ private:
+  struct PerNode {
+    Namespace ns;
+    std::unique_ptr<sim::SharedLink> link;
+    Bytes used = 0;
+  };
+
+  sim::Engine& eng_;
+  cluster::NodeLocalSpec spec_;
+  std::vector<PerNode> nodes_;
+};
+
+}  // namespace wasp::fs

@@ -1,0 +1,23 @@
+#include "fs/types.hpp"
+
+namespace wasp::fs {
+
+const char* to_string(MetaOp op) noexcept {
+  switch (op) {
+    case MetaOp::kCreate: return "create";
+    case MetaOp::kOpen: return "open";
+    case MetaOp::kClose: return "close";
+    case MetaOp::kStat: return "stat";
+    case MetaOp::kSeek: return "seek";
+    case MetaOp::kSync: return "sync";
+    case MetaOp::kUnlink: return "unlink";
+    case MetaOp::kReaddir: return "readdir";
+  }
+  return "?";
+}
+
+const char* to_string(IoKind kind) noexcept {
+  return kind == IoKind::kRead ? "read" : "write";
+}
+
+}  // namespace wasp::fs

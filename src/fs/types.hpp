@@ -1,0 +1,66 @@
+// Common filesystem-facing types shared by the storage models and the
+// interface layers (POSIX/STDIO/MPI-IO/HDF5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace wasp::fs {
+
+using util::Bytes;
+
+/// Stable identifier of a file within one filesystem namespace.
+using FileId = std::uint64_t;
+inline constexpr FileId kInvalidFile = ~FileId{0};
+
+/// Where a request originates: needed for node-local tiers, client caches
+/// and cross-node sharing effects.
+struct ProcSite {
+  int node = 0;
+  int rank = 0;
+};
+
+enum class IoKind : std::uint8_t { kRead, kWrite };
+
+/// Metadata operations the timing model distinguishes. The paper's analysis
+/// lumps these as "metadata ops" vs "data ops".
+enum class MetaOp : std::uint8_t {
+  kCreate,
+  kOpen,
+  kClose,
+  kStat,
+  kSeek,
+  kSync,
+  kUnlink,
+  kReaddir,
+};
+
+const char* to_string(MetaOp op) noexcept;
+const char* to_string(IoKind kind) noexcept;
+
+/// A (possibly coalesced) data request: `op_count` sequential operations of
+/// `size` bytes each starting at `offset`. Coalescing keeps the event count
+/// per multi-million-op workload low while preserving exact op statistics.
+struct IoRequest {
+  ProcSite site;
+  FileId file = kInvalidFile;
+  Bytes offset = 0;
+  Bytes size = 0;           ///< per-operation transfer granularity
+  std::uint32_t op_count = 1;
+  IoKind kind = IoKind::kRead;
+  /// Each op must complete before the next is issued (pointer-chasing
+  /// library metadata, e.g. HDF5 b-tree walks). These cannot be coalesced
+  /// or prefetched, so every op pays full, contention-inflated latency.
+  bool sync_each_op = false;
+  /// Every op pays plain per-op latency (durable/O_SYNC-style writes that
+  /// defeat writeback coalescing) without the contention inflation.
+  bool latency_each_op = false;
+
+  Bytes total_bytes() const noexcept {
+    return size * static_cast<Bytes>(op_count);
+  }
+};
+
+}  // namespace wasp::fs

@@ -1,0 +1,60 @@
+// Transparent compression middleware (HCompress/Ares-style, §II-B / §IV-D.1).
+//
+// Compression is a bet on the data: the paper's introduction cites a case
+// where compressing an unfavourable distribution *grew* the data 12% and
+// cost 1.5x total time. The model here makes that concrete:
+//  * the achievable ratio is a property of the declared value distribution
+//    (the Table VI "Data dist" attribute),
+//  * the codec throughput depends on where it runs — CPU core vs GPU
+//    (the "# gpu/node" attribute the advisor consults).
+//
+// CompressedPosix wraps Posix: user-level ops are traced at their original
+// size; the filesystem moves the compressed bytes.
+#pragma once
+
+#include "io/posix.hpp"
+
+namespace wasp::io {
+
+struct CompressionModel {
+  /// Output/input size ratio (<1 shrinks, >1 grows) for a declared value
+  /// distribution. "uniform" (high entropy) slightly *grows* — the paper's
+  /// §I pathology; structured distributions compress well.
+  static double ratio_for(const std::string& distribution);
+
+  double cpu_bps = 600e6;  ///< single-core codec throughput
+  double gpu_bps = 12e9;   ///< GPU-offloaded codec throughput
+  bool use_gpu = false;
+  double ratio = 0.5;
+
+  double codec_bps() const noexcept { return use_gpu ? gpu_bps : cpu_bps; }
+};
+
+class CompressedPosix {
+ public:
+  CompressedPosix(runtime::Proc& proc, CompressionModel model)
+      : posix_(proc), model_(model) {}
+
+  runtime::Proc& proc() noexcept { return posix_.proc(); }
+  const CompressionModel& model() const noexcept { return model_; }
+
+  sim::Task<File> open(const std::string& path, OpenMode mode) {
+    return posix_.open(path, mode);
+  }
+  sim::Task<void> close(File& f) { return posix_.close(f); }
+
+  /// Compress then store `count` ops of `size` logical bytes each.
+  sim::Task<void> write(File& f, fs::Bytes size, std::uint32_t count = 1);
+  /// Fetch and decompress; logical extent bookkeeping uses original sizes.
+  sim::Task<void> read(File& f, fs::Bytes size, std::uint32_t count = 1);
+
+  /// Logical bytes written so far through this wrapper (for tests).
+  fs::Bytes logical_written() const noexcept { return logical_written_; }
+
+ private:
+  Posix posix_;
+  CompressionModel model_;
+  fs::Bytes logical_written_ = 0;
+};
+
+}  // namespace wasp::io

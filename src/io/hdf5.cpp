@@ -1,0 +1,110 @@
+#include "io/hdf5.hpp"
+
+namespace wasp::io {
+
+sim::Task<void> Hdf5::metadata_accesses(H5File& f, int n) {
+  if (n <= 0) co_return;
+  auto& p = proc();
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    // Library metadata are synchronous 4KB reads into the file (superblock,
+    // object headers, b-tree nodes) — pointer-chasing, unprefetchable.
+    // With the MPI-IO driver the metadata reads are collective: the node
+    // leader walks the structures and the group synchronizes around it.
+    const bool collective = f.mpi.has_value();
+    const bool reader = !collective || p.comm().is_node_leader(p.comm_rank());
+    if (collective) co_await p.comm().barrier();
+    if (reader) {
+      fs::IoRequest req;
+      req.site = p.site();
+      req.file = f.base.id;
+      req.offset = 0;
+      req.size = 4 * util::kKiB;
+      req.op_count = static_cast<std::uint32_t>(n);
+      req.kind = fs::IoKind::kRead;
+      req.sync_each_op = true;
+      co_await f.base.fs->io(req);
+    }
+    if (collective) co_await p.comm().barrier();
+  }
+  p.record(trace::Iface::kHdf5, trace::Op::kMetaAccess, f.base.key(), 0, 0,
+           static_cast<std::uint32_t>(n), t0);
+}
+
+sim::Task<H5File> Hdf5::open(const std::string& path, OpenMode mode,
+                             Hdf5Config cfg) {
+  auto& p = proc();
+  H5File f;
+  f.cfg = cfg;
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    if (cfg.use_mpiio) {
+      f.mpi = co_await mpiio_.open_all(path, mode);
+      f.base = f.mpi->base;
+    } else {
+      f.base = co_await posix_.open(path, mode);
+    }
+  }
+  p.record(trace::Iface::kHdf5, trace::Op::kOpen, f.base.key(), 0, 0, 1, t0);
+  co_await metadata_accesses(f, cfg.meta_reads_per_open);
+  co_return f;
+}
+
+sim::Task<void> Hdf5::close(H5File& f) {
+  auto& p = proc();
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    if (f.mpi) {
+      co_await mpiio_.close_all(*f.mpi);
+      f.base.is_open = false;
+    } else {
+      co_await posix_.close(f.base);
+    }
+  }
+  p.record(trace::Iface::kHdf5, trace::Op::kClose, f.base.key(), 0, 0, 1, t0);
+}
+
+sim::Task<void> Hdf5::read(H5File& f, fs::Bytes offset, fs::Bytes size,
+                           std::uint32_t count) {
+  auto& p = proc();
+  const int meta = f.cfg.chunk_size == 0
+                       ? f.cfg.meta_reads_per_access * static_cast<int>(count)
+                       : 1;
+  co_await metadata_accesses(f, meta);
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    if (f.mpi) {
+      co_await mpiio_.read_all(*f.mpi, offset, size, count);
+    } else {
+      co_await posix_.pread(f.base, offset, size, count);
+    }
+  }
+  p.record(trace::Iface::kHdf5, trace::Op::kRead, f.base.key(), offset, size,
+           count, t0);
+}
+
+sim::Task<void> Hdf5::write(H5File& f, fs::Bytes offset, fs::Bytes size,
+                            std::uint32_t count) {
+  auto& p = proc();
+  const int meta = f.cfg.chunk_size == 0
+                       ? f.cfg.meta_reads_per_access * static_cast<int>(count)
+                       : 1;
+  co_await metadata_accesses(f, meta);
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    if (f.mpi) {
+      co_await mpiio_.write_all(*f.mpi, offset, size, count);
+    } else {
+      co_await posix_.pwrite(f.base, offset, size, count);
+    }
+  }
+  p.record(trace::Iface::kHdf5, trace::Op::kWrite, f.base.key(), offset,
+           size, count, t0);
+}
+
+}  // namespace wasp::io

@@ -1,0 +1,62 @@
+// HDF5-like high-level library model.
+//
+// An HDF5 file is a superblock + object headers + (optionally chunked)
+// dataset. Opening touches several metadata blocks; each dataset access on
+// an *unchunked* file does additional metadata lookups — and when the file
+// is driven through MPI-IO those lookups are collective, which is exactly
+// the CosmoFlow pathology the paper dissects ("no file chunking ... slows
+// down the multiple metadata accesses ... 98% of the I/O time is spent in
+// metadata ops").
+#pragma once
+
+#include <optional>
+
+#include "io/mpiio.hpp"
+#include "io/posix.hpp"
+
+namespace wasp::io {
+
+struct Hdf5Config {
+  /// 0 = contiguous layout (no chunking); otherwise the chunk edge in bytes.
+  fs::Bytes chunk_size = 0;
+  /// Use the MPI-IO driver (collective metadata + data); otherwise POSIX.
+  bool use_mpiio = true;
+  /// Metadata blocks touched by open (superblock, heap, object headers...).
+  int meta_reads_per_open = 4;
+  /// Extra metadata lookups per dataset access when the layout is
+  /// contiguous; chunked layouts amortize to one cached b-tree probe.
+  int meta_reads_per_access = 2;
+};
+
+struct H5File {
+  File base;                     ///< POSIX-driver handle
+  std::optional<MpiFile> mpi;    ///< set when the MPI-IO driver is active
+  Hdf5Config cfg;
+};
+
+class Hdf5 {
+ public:
+  explicit Hdf5(runtime::Proc& proc, MpiIoConfig mpiio_cfg = {})
+      : posix_(proc, trace::Iface::kHdf5), mpiio_(proc, mpiio_cfg) {}
+
+  runtime::Proc& proc() noexcept { return posix_.proc(); }
+
+  sim::Task<H5File> open(const std::string& path, OpenMode mode,
+                         Hdf5Config cfg = {});
+  sim::Task<void> close(H5File& f);
+
+  /// Read/write `count` accesses of `size` bytes each into the dataset at
+  /// `offset`. Collective when the MPI-IO driver is active.
+  sim::Task<void> read(H5File& f, fs::Bytes offset, fs::Bytes size,
+                       std::uint32_t count = 1);
+  sim::Task<void> write(H5File& f, fs::Bytes offset, fs::Bytes size,
+                        std::uint32_t count = 1);
+
+ private:
+  sim::Task<void> metadata_accesses(H5File& f, int n);
+
+  Posix posix_;
+  MpiIo mpiio_;
+};
+
+}  // namespace wasp::io

@@ -1,0 +1,128 @@
+#include "io/mpiio.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wasp::io {
+
+sim::Task<MpiFile> MpiIo::open_all(const std::string& path, OpenMode mode) {
+  auto& p = proc();
+  co_await p.comm().barrier();
+  MpiFile f;
+  {
+    runtime::Proc::Suppression mute(p);
+    f.base = co_await posix_.open(path, mode);
+  }
+  const sim::Time t0 = p.now();
+  p.record(trace::Iface::kMpiio, trace::Op::kOpen, f.base.key(), 0, 0, 1, t0);
+  co_return f;
+}
+
+sim::Task<void> MpiIo::close_all(MpiFile& f) {
+  auto& p = proc();
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    co_await posix_.close(f.base);
+  }
+  co_await p.comm().barrier();
+  p.record(trace::Iface::kMpiio, trace::Op::kClose, f.base.key(), 0, 0, 1,
+           t0);
+}
+
+sim::Task<void> MpiIo::collective(MpiFile& f, fs::Bytes offset,
+                                  fs::Bytes size, std::uint32_t count,
+                                  fs::IoKind kind) {
+  auto& p = proc();
+  auto& comm = p.comm();
+  const sim::Time t0 = p.now();
+  const fs::Bytes per_rank = size * static_cast<fs::Bytes>(count);
+
+  co_await comm.barrier();
+
+  if (cfg_.aggregators_per_node <= 0) {
+    // Collective buffering disabled: every rank hits the PFS itself.
+    runtime::Proc::Suppression mute(p);
+    if (kind == fs::IoKind::kRead) {
+      co_await posix_.pread(f.base, offset, size, count);
+    } else {
+      co_await posix_.pwrite(f.base, offset, size, count);
+    }
+  } else if (comm.is_node_leader(p.comm_rank())) {
+    // Aggregate the node's volume at cb_buffer granularity.
+    const auto node_ranks =
+        static_cast<fs::Bytes>(comm.ranks_on_node(p.node()).size());
+    fs::Bytes node_bytes = per_rank * node_ranks;
+    fs::Bytes agg_offset = offset;
+    if (kind == fs::IoKind::kRead) {
+      // Only the caller's own offset is visible here; clamp the aggregated
+      // request into the file so rank-relative views cannot run past EOF.
+      const fs::Bytes file_size =
+          f.base.fs->ns(p.site()).inode(f.base.id).size;
+      node_bytes = std::min(node_bytes, file_size);
+      agg_offset = std::min(agg_offset, file_size - node_bytes);
+    }
+    const fs::Bytes gran = std::min(cfg_.cb_buffer, std::max(node_bytes,
+                                                             fs::Bytes{1}));
+    const auto chunks =
+        static_cast<std::uint32_t>(std::max<fs::Bytes>(node_bytes / gran, 1));
+    runtime::Proc::Suppression mute(p);
+    if (node_bytes > 0) {
+      if (kind == fs::IoKind::kRead) {
+        co_await posix_.pread(f.base, agg_offset, gran, chunks);
+      } else {
+        co_await posix_.pwrite(f.base, agg_offset, gran, chunks);
+      }
+    }
+  }
+
+  // Wait for the aggregators, then pay the shuffle to/from member ranks.
+  co_await comm.barrier();
+  if (cfg_.aggregators_per_node > 0 && per_rank > 0 &&
+      !comm.is_node_leader(p.comm_rank())) {
+    const double sec =
+        static_cast<double>(per_rank) / comm.net().bandwidth_bps;
+    co_await sim::Delay(p.engine(), comm.net().latency + sim::seconds(sec));
+  }
+
+  p.record(trace::Iface::kMpiio,
+           kind == fs::IoKind::kRead ? trace::Op::kRead : trace::Op::kWrite,
+           f.base.key(), offset, size, count, t0);
+}
+
+sim::Task<void> MpiIo::read_all(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                                std::uint32_t count) {
+  return collective(f, offset, size, count, fs::IoKind::kRead);
+}
+
+sim::Task<void> MpiIo::write_all(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                                 std::uint32_t count) {
+  return collective(f, offset, size, count, fs::IoKind::kWrite);
+}
+
+sim::Task<void> MpiIo::read(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                            std::uint32_t count) {
+  auto& p = proc();
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    co_await posix_.pread(f.base, offset, size, count);
+  }
+  p.record(trace::Iface::kMpiio, trace::Op::kRead, f.base.key(), offset, size,
+           count, t0);
+}
+
+sim::Task<void> MpiIo::write(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                             std::uint32_t count) {
+  auto& p = proc();
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    co_await posix_.pwrite(f.base, offset, size, count);
+  }
+  p.record(trace::Iface::kMpiio, trace::Op::kWrite, f.base.key(), offset,
+           size, count, t0);
+}
+
+}  // namespace wasp::io

@@ -1,0 +1,63 @@
+// MPI-IO interface with ROMIO-style collective buffering.
+//
+// Collective reads/writes synchronize the communicator, aggregate each
+// node's bytes at its node-leader rank (cb_nodes aggregators, one per node
+// by default), run the filesystem I/O at cb_buffer granularity, and then
+// shuffle data to/from the member ranks over the NIC. Independent ops go
+// straight to the filesystem. This reproduces both the benefit (fewer,
+// larger PFS requests) and the cost (extra synchronization + network hops)
+// the paper attributes to MPI-IO on small shared HDF5 files.
+#pragma once
+
+#include "io/posix.hpp"
+
+namespace wasp::io {
+
+struct MpiIoConfig {
+  /// ROMIO cb_buffer_size (default 16MB).
+  fs::Bytes cb_buffer = 16 * util::kMiB;
+  /// Aggregators per node (cb_nodes / #nodes); 0 disables collective
+  /// buffering (every rank does its own I/O inside collectives).
+  int aggregators_per_node = 1;
+};
+
+struct MpiFile {
+  File base;
+};
+
+class MpiIo {
+ public:
+  MpiIo(runtime::Proc& proc, MpiIoConfig cfg = {})
+      : posix_(proc, trace::Iface::kMpiio), cfg_(cfg) {}
+
+  runtime::Proc& proc() noexcept { return posix_.proc(); }
+  const MpiIoConfig& config() const noexcept { return cfg_; }
+
+  /// Collective open: all ranks call; each pays the metadata cost (GPFS
+  /// behaviour — the root of shared-file metadata storms).
+  sim::Task<MpiFile> open_all(const std::string& path, OpenMode mode);
+  sim::Task<void> close_all(MpiFile& f);
+
+  /// Collective read/write: every rank moves `count` ops of `size` bytes at
+  /// `offset` (its own file view). Assumes roughly uniform per-rank volume,
+  /// which holds for the SPMD workloads modelled here.
+  sim::Task<void> read_all(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                           std::uint32_t count = 1);
+  sim::Task<void> write_all(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                            std::uint32_t count = 1);
+
+  /// Independent (non-collective) ops.
+  sim::Task<void> read(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                       std::uint32_t count = 1);
+  sim::Task<void> write(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                        std::uint32_t count = 1);
+
+ private:
+  sim::Task<void> collective(MpiFile& f, fs::Bytes offset, fs::Bytes size,
+                             std::uint32_t count, fs::IoKind kind);
+
+  Posix posix_;
+  MpiIoConfig cfg_;
+};
+
+}  // namespace wasp::io

@@ -1,0 +1,230 @@
+#include "io/posix.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wasp::io {
+
+sim::Task<File> Posix::open(const std::string& path, OpenMode mode) {
+  auto& fs = p_.simulation().mounts().resolve(path);
+  auto& ns = fs.ns(p_.site());
+  const sim::Time t0 = p_.now();
+
+  File f;
+  f.fs = &fs;
+  f.fs_idx = p_.tracer().register_fs(fs);
+  f.mode = mode;
+
+  if (mode == OpenMode::kRead) {
+    auto id = ns.lookup(path);
+    WASP_CHECK_MSG(id.has_value(), "open for read: no such file: " + path);
+    f.id = *id;
+  } else {
+    f.id = ns.create(path, p_.now(), p_.rank(), p_.node());
+  }
+  if (mode == OpenMode::kAppend) {
+    f.offset = ns.inode(f.id).size;
+  }
+  f.is_open = true;
+
+  co_await fs.meta(p_.site(), fs::MetaOp::kOpen, f.id);
+  p_.record(iface_, trace::Op::kOpen, f.key(), 0, 0, 1, t0);
+  co_return f;
+}
+
+sim::Task<void> Posix::close(File& f) {
+  WASP_CHECK_MSG(f.is_open, "close on closed file");
+  const sim::Time t0 = p_.now();
+  co_await f.fs->meta(p_.site(), fs::MetaOp::kClose, f.id);
+  p_.record(iface_, trace::Op::kClose, f.key(), 0, 0, 1, t0);
+  f.is_open = false;
+}
+
+sim::Task<void> Posix::data_op(File& f, fs::Bytes offset, fs::Bytes size,
+                               std::uint32_t count, fs::IoKind kind,
+                               bool advance_offset) {
+  WASP_CHECK_MSG(f.is_open, "I/O on closed file");
+  WASP_CHECK_MSG(count > 0, "zero-count I/O");
+  auto& ns = f.fs->ns(p_.site());
+  fs::Inode& inode = ns.inode(f.id);
+  const fs::Bytes total = size * static_cast<fs::Bytes>(count);
+  const sim::Time t0 = p_.now();
+
+  if (kind == fs::IoKind::kRead) {
+    WASP_CHECK_MSG(f.mode != OpenMode::kWrite && f.mode != OpenMode::kAppend,
+                   "read on write-only file");
+    WASP_CHECK_MSG(offset + total <= inode.size,
+                   "read past EOF: " + inode.path);
+  } else {
+    WASP_CHECK_MSG(f.mode != OpenMode::kRead, "write on read-only file");
+    const fs::Bytes new_size = std::max(inode.size, offset + total);
+    const fs::Bytes growth = new_size - inode.size;
+    if (growth > 0) {
+      WASP_CHECK_MSG(f.fs->free_bytes(p_.site()) >= growth,
+                     "ENOSPC on " + f.fs->mount() + " writing " + inode.path);
+      f.fs->note_growth(p_.site(), static_cast<std::int64_t>(growth));
+      inode.size = new_size;
+    }
+    inode.modified = p_.now();
+  }
+
+  fs::IoRequest req;
+  req.site = p_.site();
+  req.file = f.id;
+  req.offset = offset;
+  req.size = size;
+  req.op_count = count;
+  req.kind = kind;
+  co_await f.fs->io(req);
+
+  if (advance_offset) f.offset = offset + total;
+  p_.record(iface_,
+            kind == fs::IoKind::kRead ? trace::Op::kRead : trace::Op::kWrite,
+            f.key(), offset, size, count, t0);
+}
+
+sim::Task<void> Posix::read(File& f, fs::Bytes size, std::uint32_t count) {
+  return data_op(f, f.offset, size, count, fs::IoKind::kRead, true);
+}
+
+sim::Task<void> Posix::write(File& f, fs::Bytes size, std::uint32_t count) {
+  return data_op(f, f.offset, size, count, fs::IoKind::kWrite, true);
+}
+
+sim::Task<void> Posix::pread(File& f, fs::Bytes offset, fs::Bytes size,
+                             std::uint32_t count) {
+  return data_op(f, offset, size, count, fs::IoKind::kRead, false);
+}
+
+sim::Task<void> Posix::pwrite(File& f, fs::Bytes offset, fs::Bytes size,
+                              std::uint32_t count) {
+  return data_op(f, offset, size, count, fs::IoKind::kWrite, false);
+}
+
+sim::Task<void> Posix::seek(File& f, fs::Bytes offset) {
+  WASP_CHECK_MSG(f.is_open, "seek on closed file");
+  const sim::Time t0 = p_.now();
+  co_await f.fs->meta(p_.site(), fs::MetaOp::kSeek, f.id);
+  f.offset = offset;
+  p_.record(iface_, trace::Op::kSeek, f.key(), offset, 0, 1, t0);
+}
+
+sim::Task<void> Posix::seek_batch(File& f, std::uint32_t count) {
+  WASP_CHECK_MSG(f.is_open, "seek on closed file");
+  WASP_CHECK_MSG(count > 0, "zero-count seek batch");
+  const sim::Time t0 = p_.now();
+  // ~60us per seek: client VFS plus the I/O library bookkeeping around each
+  // repositioning, calibrated against CM1's metadata-dominated write phases.
+  co_await sim::Delay(p_.engine(), 60 * sim::kUs * count);
+  p_.record(iface_, trace::Op::kSeek, f.key(), f.offset, 0, count, t0);
+}
+
+sim::Task<void> Posix::pread_sync(File& f, fs::Bytes offset, fs::Bytes size,
+                                  std::uint32_t count) {
+  WASP_CHECK_MSG(f.is_open, "I/O on closed file");
+  auto& ns = f.fs->ns(p_.site());
+  const fs::Inode& inode = ns.inode(f.id);
+  const fs::Bytes total = size * static_cast<fs::Bytes>(count);
+  WASP_CHECK_MSG(offset + total <= inode.size,
+                 "read past EOF: " + inode.path);
+  const sim::Time t0 = p_.now();
+  fs::IoRequest req;
+  req.site = p_.site();
+  req.file = f.id;
+  req.offset = offset;
+  req.size = size;
+  req.op_count = count;
+  req.kind = fs::IoKind::kRead;
+  req.sync_each_op = true;
+  co_await f.fs->io(req);
+  p_.record(iface_, trace::Op::kRead, f.key(), offset, size, count, t0);
+}
+
+sim::Task<void> Posix::pwrite_sync(File& f, fs::Bytes offset,
+                                   fs::Bytes size, std::uint32_t count) {
+  WASP_CHECK_MSG(f.is_open, "I/O on closed file");
+  WASP_CHECK_MSG(f.mode != OpenMode::kRead, "write on read-only file");
+  auto& ns = f.fs->ns(p_.site());
+  const fs::Bytes total = size * static_cast<fs::Bytes>(count);
+  {
+    fs::Inode& inode = ns.inode(f.id);
+    const fs::Bytes new_size = std::max(inode.size, offset + total);
+    const fs::Bytes growth = new_size - inode.size;
+    if (growth > 0) {
+      WASP_CHECK_MSG(f.fs->free_bytes(p_.site()) >= growth,
+                     "ENOSPC on " + f.fs->mount());
+      f.fs->note_growth(p_.site(), static_cast<std::int64_t>(growth));
+      inode.size = new_size;
+    }
+    inode.modified = p_.now();
+  }
+  const sim::Time t0 = p_.now();
+  fs::IoRequest req;
+  req.site = p_.site();
+  req.file = f.id;
+  req.offset = offset;
+  req.size = size;
+  req.op_count = count;
+  req.kind = fs::IoKind::kWrite;
+  req.latency_each_op = true;
+  co_await f.fs->io(req);
+  p_.record(iface_, trace::Op::kWrite, f.key(), offset, size, count, t0);
+}
+
+sim::Task<void> Posix::stat(const std::string& path) {
+  auto& fs = p_.simulation().mounts().resolve(path);
+  const sim::Time t0 = p_.now();
+  auto id = fs.ns(p_.site()).lookup(path);
+  co_await fs.meta(p_.site(), fs::MetaOp::kStat,
+                   id.value_or(fs::kInvalidFile));
+  trace::FileKey key;
+  if (id) key = {p_.tracer().register_fs(fs), *id};
+  p_.record(iface_, trace::Op::kStat, key, 0, 0, 1, t0);
+}
+
+sim::Task<void> Posix::sync(File& f) {
+  WASP_CHECK_MSG(f.is_open, "sync on closed file");
+  const sim::Time t0 = p_.now();
+  co_await f.fs->meta(p_.site(), fs::MetaOp::kSync, f.id);
+  p_.record(iface_, trace::Op::kSync, f.key(), 0, 0, 1, t0);
+}
+
+sim::Task<void> Posix::unlink(const std::string& path) {
+  auto& fs = p_.simulation().mounts().resolve(path);
+  auto& ns = fs.ns(p_.site());
+  const sim::Time t0 = p_.now();
+  auto id = ns.lookup(path);
+  WASP_CHECK_MSG(id.has_value(), "unlink: no such file: " + path);
+  const fs::Bytes size = ns.inode(*id).size;
+  co_await fs.meta(p_.site(), fs::MetaOp::kUnlink, *id);
+  ns.unlink(path);
+  fs.note_growth(p_.site(), -static_cast<std::int64_t>(size));
+  p_.record(iface_, trace::Op::kUnlink,
+            {p_.tracer().register_fs(fs), *id}, 0, 0, 1, t0);
+}
+
+sim::Task<std::vector<std::string>> Posix::readdir(const std::string& prefix) {
+  auto& fs = p_.simulation().mounts().resolve(prefix);
+  const sim::Time t0 = p_.now();
+  co_await fs.meta(p_.site(), fs::MetaOp::kReaddir, fs::kInvalidFile);
+  auto entries = fs.ns(p_.site()).list(prefix);
+  std::sort(entries.begin(), entries.end());
+  p_.record(iface_, trace::Op::kReaddir, {}, 0, 0, 1, t0);
+  co_return entries;
+}
+
+fs::Bytes Posix::size_of(const std::string& path) {
+  auto& fs = p_.simulation().mounts().resolve(path);
+  auto& ns = fs.ns(p_.site());
+  auto id = ns.lookup(path);
+  WASP_CHECK_MSG(id.has_value(), "size_of: no such file: " + path);
+  return ns.inode(*id).size;
+}
+
+bool Posix::exists(const std::string& path) {
+  auto* fs = p_.simulation().mounts().try_resolve(path);
+  return fs != nullptr && fs->ns(p_.site()).exists(path);
+}
+
+}  // namespace wasp::io

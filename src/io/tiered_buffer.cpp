@@ -1,0 +1,259 @@
+#include "io/tiered_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wasp::io {
+
+TieredBuffer::TieredBuffer(runtime::Simulation& sim, TieredBufferConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  nodes_.resize(static_cast<std::size_t>(sim.spec().nodes));
+  WASP_CHECK_MSG(cfg_.capacity_per_node <=
+                     sim.node_local(cfg_.tier).spec().capacity,
+                 "buffer pool larger than the tier");
+}
+
+std::string TieredBuffer::tier_path(int node, const std::string& path) const {
+  std::string flat = path;
+  for (char& c : flat) {
+    if (c == '/') c = '_';
+  }
+  (void)node;  // tier namespaces are already per node
+  return sim_.node_local(cfg_.tier).mount() + "/tbuf/" + flat;
+}
+
+util::Bytes TieredBuffer::staged_bytes(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).used;
+}
+
+bool TieredBuffer::is_staged(int node, const std::string& path) const {
+  const auto& ns = nodes_.at(static_cast<std::size_t>(node));
+  return ns.entries.find(path) != ns.entries.end();
+}
+
+sim::Task<void> TieredBuffer::flush_entry(runtime::Proc& p, int node,
+                                          const std::string& path,
+                                          fs::Bytes bytes) {
+  // Copy tier -> PFS (suppressed: middleware-internal traffic).
+  runtime::Proc::Suppression mute(p);
+  Posix posix(p);
+  const std::string staged = tier_path(node, path);
+  auto src = co_await posix.open(staged, OpenMode::kRead);
+  auto dst = co_await posix.open(path, OpenMode::kWrite);
+  const fs::Bytes chunk = 4 * util::kMiB;
+  const auto full = static_cast<std::uint32_t>(bytes / chunk);
+  const fs::Bytes tail = bytes % chunk;
+  if (full > 0) {
+    co_await posix.read(src, chunk, full);
+    co_await posix.write(dst, chunk, full);
+  }
+  if (tail > 0) {
+    co_await posix.read(src, tail, 1);
+    co_await posix.write(dst, tail, 1);
+  }
+  co_await posix.close(src);
+  co_await posix.close(dst);
+}
+
+sim::Task<bool> TieredBuffer::make_room(runtime::Proc& p, int node,
+                                        fs::Bytes need) {
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  if (need > cfg_.capacity_per_node) co_return false;
+  while (ns.used + need > cfg_.capacity_per_node) {
+    // Pick the victim per policy.
+    const std::string* victim = nullptr;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (const auto& [path, e] : ns.entries) {
+      const std::uint64_t key =
+          cfg_.eviction == TieredBufferConfig::Eviction::kLru ? e.last_use
+                                                              : e.arrival;
+      if (key < best) {
+        best = key;
+        victim = &path;
+      }
+    }
+    if (victim == nullptr) co_return false;
+    const std::string path = *victim;
+    Entry entry = ns.entries[path];
+    if (entry.dirty) {
+      co_await flush_entry(p, node, path, entry.bytes);
+    }
+    {
+      const std::string staged = tier_path(node, path);
+      runtime::Proc::Suppression mute(p);
+      Posix posix(p);
+      co_await posix.unlink(staged);
+    }
+    ns.used -= entry.bytes;
+    ns.entries.erase(path);
+    ++evictions_;
+  }
+  co_return true;
+}
+
+sim::Task<TieredBuffer::BufFile> TieredBuffer::open(runtime::Proc& p,
+                                                    std::string path,
+                                                    OpenMode mode) {
+  auto& ns = nodes_[static_cast<std::size_t>(p.node())];
+  BufFile f;
+  f.path = path;
+  f.writing = mode != OpenMode::kRead;
+  const sim::Time t0 = p.now();
+  Posix posix(p);
+
+  // NOTE: path arguments are hoisted into named locals before the
+  // co_await: GCC 12 double-destroys conditional-expression temporaries
+  // inside co_await expressions.
+  if (f.writing) {
+    // Stage new output on the tier when write-back is on.
+    f.on_tier = cfg_.write_back;
+    const std::string target =
+        f.on_tier ? tier_path(p.node(), path) : path;
+    runtime::Proc::Suppression mute(p);
+    f.handle = co_await posix.open(target, mode);
+  } else {
+    auto it = ns.entries.find(path);
+    if (it != ns.entries.end()) {
+      ++hits_;
+      it->second.last_use = ++clock_;
+      f.on_tier = true;
+      const std::string target = tier_path(p.node(), path);
+      runtime::Proc::Suppression mute(p);
+      f.handle = co_await posix.open(target, OpenMode::kRead);
+    } else {
+      ++misses_;
+      // Promote on miss when the file fits the pool: copy it to the tier
+      // so later readers hit (the cache behaviour Hermes-class middleware
+      // configures).
+      const fs::Bytes size = posix.size_of(path);
+      bool promoted = false;
+      if (size <= cfg_.capacity_per_node) {
+        promoted = co_await make_room(p, p.node(), size);
+      }
+      if (promoted) {
+        const std::string staged = tier_path(p.node(), path);
+        {
+          runtime::Proc::Suppression mute(p);
+          auto src = co_await posix.open(path, OpenMode::kRead);
+          auto dst = co_await posix.open(staged, OpenMode::kWrite);
+          const fs::Bytes chunk = 4 * util::kMiB;
+          const auto full = static_cast<std::uint32_t>(size / chunk);
+          const fs::Bytes tail = size % chunk;
+          if (full > 0) {
+            co_await posix.read(src, chunk, full);
+            co_await posix.write(dst, chunk, full);
+          }
+          if (tail > 0) {
+            co_await posix.read(src, tail, 1);
+            co_await posix.write(dst, tail, 1);
+          }
+          co_await posix.close(src);
+          co_await posix.close(dst);
+        }
+        auto& entry = ns.entries[path];
+        entry.bytes = size;
+        entry.dirty = false;
+        entry.arrival = ++clock_;
+        entry.last_use = ++clock_;
+        ns.used += size;
+        f.on_tier = true;
+        const std::string staged2 = tier_path(p.node(), path);
+        runtime::Proc::Suppression mute(p);
+        f.handle = co_await posix.open(staged2, OpenMode::kRead);
+      } else {
+        f.on_tier = false;
+        runtime::Proc::Suppression mute(p);
+        f.handle = co_await posix.open(path, OpenMode::kRead);
+      }
+    }
+  }
+  p.record(trace::Iface::kPosix, trace::Op::kOpen, f.handle.key(), 0, 0, 1,
+           t0);
+  co_return f;
+}
+
+sim::Task<void> TieredBuffer::write(runtime::Proc& p, BufFile& f,
+                                    fs::Bytes size, std::uint32_t count) {
+  WASP_CHECK_MSG(f.writing, "write on read-only buffered file");
+  const fs::Bytes total = size * static_cast<fs::Bytes>(count);
+  if (f.on_tier) {
+    const bool fits = co_await make_room(p, p.node(), total);
+    if (!fits) {
+      // Overflow: fall back to the PFS for the rest of this file.
+      if (f.logical > 0) {
+        // Flush what is already staged, then continue on the PFS copy.
+        co_await flush_entry(p, p.node(), f.path, f.logical);
+      }
+      auto& ns = nodes_[static_cast<std::size_t>(p.node())];
+      auto it = ns.entries.find(f.path);
+      if (it != ns.entries.end()) {
+        ns.used -= it->second.bytes;
+        ns.entries.erase(it);
+      }
+      runtime::Proc::Suppression mute(p);
+      Posix posix(p);
+      co_await posix.close(f.handle);
+      f.handle = co_await posix.open(f.path, OpenMode::kAppend);
+      f.on_tier = false;
+    }
+  }
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    Posix posix(p);
+    co_await posix.write(f.handle, size, count);
+  }
+  if (f.on_tier) {
+    auto& ns = nodes_[static_cast<std::size_t>(p.node())];
+    auto& entry = ns.entries[f.path];
+    if (entry.bytes == 0) entry.arrival = ++clock_;
+    entry.bytes += total;
+    entry.dirty = true;
+    entry.last_use = ++clock_;
+    ns.used += total;
+  }
+  f.logical += total;
+  p.record(trace::Iface::kPosix, trace::Op::kWrite, f.handle.key(),
+           f.handle.offset - total, size, count, t0);
+}
+
+sim::Task<void> TieredBuffer::read(runtime::Proc& p, BufFile& f,
+                                   fs::Bytes size, std::uint32_t count) {
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    Posix posix(p);
+    co_await posix.read(f.handle, size, count);
+  }
+  if (f.on_tier) {
+    auto& ns = nodes_[static_cast<std::size_t>(p.node())];
+    auto it = ns.entries.find(f.path);
+    if (it != ns.entries.end()) it->second.last_use = ++clock_;
+  }
+  p.record(trace::Iface::kPosix, trace::Op::kRead, f.handle.key(),
+           f.handle.offset - size * count, size, count, t0);
+}
+
+sim::Task<void> TieredBuffer::close(runtime::Proc& p, BufFile& f) {
+  const sim::Time t0 = p.now();
+  {
+    runtime::Proc::Suppression mute(p);
+    Posix posix(p);
+    co_await posix.close(f.handle);
+  }
+  p.record(trace::Iface::kPosix, trace::Op::kClose, f.handle.key(), 0, 0, 1,
+           t0);
+}
+
+sim::Task<void> TieredBuffer::flush_all(runtime::Proc& p) {
+  auto& ns = nodes_[static_cast<std::size_t>(p.node())];
+  for (auto& [path, entry] : ns.entries) {
+    if (entry.dirty) {
+      co_await flush_entry(p, p.node(), path, entry.bytes);
+      entry.dirty = false;
+    }
+  }
+}
+
+}  // namespace wasp::io

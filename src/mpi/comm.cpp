@@ -1,0 +1,137 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wasp::mpi {
+namespace {
+
+int ceil_log2(int n) noexcept {
+  int bits = 0;
+  for (int v = n - 1; v > 0; v >>= 1) ++bits;
+  return std::max(bits, 1);
+}
+
+}  // namespace
+
+Comm::Comm(sim::Engine& eng, std::vector<int> rank_to_node, NetParams net)
+    : eng_(eng), rank_to_node_(std::move(rank_to_node)), net_(net) {
+  WASP_CHECK_MSG(!rank_to_node_.empty(), "empty communicator");
+  num_nodes_ = *std::max_element(rank_to_node_.begin(), rank_to_node_.end()) +
+               1;
+  node_ranks_.resize(static_cast<std::size_t>(num_nodes_));
+  for (int r = 0; r < size(); ++r) {
+    node_ranks_[static_cast<std::size_t>(rank_to_node_[
+        static_cast<std::size_t>(r)])].push_back(r);
+  }
+}
+
+int Comm::node_of(int rank) const {
+  WASP_CHECK_MSG(rank >= 0 && rank < size(), "rank out of range");
+  return rank_to_node_[static_cast<std::size_t>(rank)];
+}
+
+const std::vector<int>& Comm::ranks_on_node(int node) const {
+  WASP_CHECK_MSG(node >= 0 && node < num_nodes_, "node out of range");
+  return node_ranks_[static_cast<std::size_t>(node)];
+}
+
+int Comm::node_leader(int rank) const {
+  const auto& ranks = ranks_on_node(node_of(rank));
+  WASP_CHECK(!ranks.empty());
+  return ranks.front();
+}
+
+sim::Time Comm::tree_latency() const noexcept {
+  return net_.latency * static_cast<sim::Time>(ceil_log2(size()));
+}
+
+sim::Task<void> Comm::barrier() {
+  const std::uint64_t gen = barrier_gen_;
+  if (++barrier_arrived_ == size()) {
+    barrier_arrived_ = 0;
+    ++barrier_gen_;
+    co_await sim::Delay(eng_, tree_latency());
+    auto it = barrier_events_.find(gen);
+    if (it != barrier_events_.end()) {
+      it->second->set();
+      barrier_events_.erase(it);
+    }
+    co_return;
+  }
+  auto& ev = barrier_events_[gen];
+  if (!ev) ev = std::make_unique<sim::Event>(eng_);
+  co_await ev->wait();
+}
+
+sim::Task<void> Comm::bcast(int rank, int root, util::Bytes n) {
+  WASP_CHECK(root >= 0 && root < size());
+  co_await barrier();
+  if (rank != root && n > 0) {
+    co_await sim::Delay(
+        eng_, tree_latency() +
+                  sim::seconds(static_cast<double>(n) / net_.bandwidth_bps));
+  }
+}
+
+sim::Task<void> Comm::gather(int rank, int root, util::Bytes per_rank) {
+  co_await barrier();
+  const util::Bytes moved =
+      rank == root ? per_rank * static_cast<util::Bytes>(size()) : per_rank;
+  if (moved > 0) {
+    co_await sim::Delay(
+        eng_, tree_latency() + sim::seconds(static_cast<double>(moved) /
+                                            net_.bandwidth_bps));
+  }
+}
+
+sim::Task<void> Comm::allreduce(util::Bytes n) {
+  co_await barrier();
+  if (n > 0) {
+    // Recursive-doubling: log2(P) rounds, each moving n bytes.
+    const double sec = static_cast<double>(n) / net_.bandwidth_bps *
+                       ceil_log2(size());
+    co_await sim::Delay(eng_, tree_latency() + sim::seconds(sec));
+  }
+}
+
+Comm::Mailbox& Comm::mailbox(int rank, int tag) {
+  return mailboxes_[{rank, tag}];
+}
+
+sim::Task<void> Comm::send(int from, int to, util::Bytes n, int tag) {
+  WASP_CHECK_MSG(to >= 0 && to < size(), "send to invalid rank");
+  auto& box = mailbox(to, tag);
+  box.messages.push_back(Message{from, n});
+  if (box.arrival) box.arrival->set();
+  co_await sim::Delay(eng_, net_.latency);
+}
+
+sim::Task<Comm::Message> Comm::recv(int rank, int from, int tag) {
+  auto& box = mailbox(rank, tag);
+  for (;;) {
+    auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                           [from](const Message& m) {
+                             return from < 0 || m.from == from;
+                           });
+    if (it != box.messages.end()) {
+      Message msg = *it;
+      box.messages.erase(it);
+      co_await sim::Delay(
+          eng_, net_.latency + sim::seconds(static_cast<double>(msg.bytes) /
+                                            net_.bandwidth_bps));
+      co_return msg;
+    }
+    if (!box.arrival) box.arrival = std::make_unique<sim::Event>(eng_);
+    box.arrival->reset();
+    co_await box.arrival->wait();
+  }
+}
+
+std::size_t Comm::pending(int rank, int tag) const {
+  auto it = mailboxes_.find({rank, tag});
+  return it == mailboxes_.end() ? 0 : it->second.messages.size();
+}
+
+}  // namespace wasp::mpi

@@ -1,0 +1,95 @@
+// Simulated MPI communicator.
+//
+// Models the synchronization and network cost of the MPI operations the
+// exemplar workloads use: barrier, bcast, gather, allreduce, point-to-point
+// send/recv (the Pegasus master/worker scheduler), plus the node topology
+// queries collective I/O aggregation needs. Collectives charge an analytic
+// log2(P) latency + bandwidth term; point-to-point goes through mailboxes so
+// true dataflow ordering (a recv completes only after the matching send) is
+// preserved.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace wasp::mpi {
+
+struct NetParams {
+  double bandwidth_bps = 12.5e9;
+  sim::Time latency = 1 * sim::kUs;
+};
+
+class Comm {
+ public:
+  /// rank_to_node[r] = node hosting rank r.
+  Comm(sim::Engine& eng, std::vector<int> rank_to_node, NetParams net);
+
+  int size() const noexcept { return static_cast<int>(rank_to_node_.size()); }
+  int node_of(int rank) const;
+  int num_nodes() const noexcept { return num_nodes_; }
+  const std::vector<int>& ranks_on_node(int node) const;
+  /// Lowest rank mapped to the same node as `rank`.
+  int node_leader(int rank) const;
+  bool is_node_leader(int rank) const { return node_leader(rank) == rank; }
+
+  /// All ranks must call; completes when the last arrives (+ log2 latency).
+  sim::Task<void> barrier();
+
+  /// Synchronizing bcast of n bytes from root; all ranks call.
+  sim::Task<void> bcast(int rank, int root, util::Bytes n);
+
+  /// Gather per_rank bytes to root; all ranks call.
+  sim::Task<void> gather(int rank, int root, util::Bytes per_rank);
+
+  /// Allreduce of n bytes; all ranks call.
+  sim::Task<void> allreduce(util::Bytes n);
+
+  /// Asynchronous-completion send: enqueues the message and pays latency.
+  sim::Task<void> send(int from, int to, util::Bytes n, int tag = 0);
+
+  struct Message {
+    int from = -1;
+    util::Bytes bytes = 0;
+  };
+  /// Blocks until a message with `tag` addressed to `rank` arrives
+  /// (from == -1 matches any sender), then pays the transfer cost.
+  sim::Task<Message> recv(int rank, int from = -1, int tag = 0);
+
+  /// Messages queued for (rank, tag) right now.
+  std::size_t pending(int rank, int tag = 0) const;
+
+  const NetParams& net() const noexcept { return net_; }
+
+  /// Latency of a log-tree collective over P ranks.
+  sim::Time tree_latency() const noexcept;
+
+ private:
+  struct Mailbox {
+    std::deque<Message> messages;
+    std::unique_ptr<sim::Event> arrival;
+  };
+  Mailbox& mailbox(int rank, int tag);
+
+  sim::Engine& eng_;
+  std::vector<int> rank_to_node_;
+  std::vector<std::vector<int>> node_ranks_;
+  int num_nodes_ = 0;
+  NetParams net_;
+
+  // Barrier generations.
+  std::uint64_t barrier_gen_ = 0;
+  int barrier_arrived_ = 0;
+  std::map<std::uint64_t, std::unique_ptr<sim::Event>> barrier_events_;
+
+  std::map<std::pair<int, int>, Mailbox> mailboxes_;
+};
+
+}  // namespace wasp::mpi

@@ -1,0 +1,63 @@
+#include "runtime/simulation.hpp"
+
+#include "util/error.hpp"
+
+namespace wasp::runtime {
+
+Simulation::Simulation(cluster::ClusterSpec spec) : spec_(std::move(spec)) {
+  pfs_ = std::make_unique<fs::ParallelFS>(engine_, spec_.pfs, spec_.nodes);
+  mounts_.add(*pfs_);
+  tracer_.register_fs(*pfs_);
+  if (spec_.shared_bb.has_value()) {
+    shared_bb_ = std::make_unique<fs::BurstBufferFS>(engine_,
+                                                     *spec_.shared_bb);
+    mounts_.add(*shared_bb_);
+    tracer_.register_fs(*shared_bb_);
+  }
+  for (const auto& local_spec : spec_.node_local) {
+    node_local_.push_back(
+        std::make_unique<fs::NodeLocalFS>(engine_, local_spec, spec_.nodes));
+    mounts_.add(*node_local_.back());
+    tracer_.register_fs(*node_local_.back());
+  }
+}
+
+fs::BurstBufferFS& Simulation::shared_bb() {
+  WASP_CHECK_MSG(shared_bb_ != nullptr, "cluster has no shared burst buffer");
+  return *shared_bb_;
+}
+
+fs::NodeLocalFS& Simulation::node_local(const std::string& name) {
+  for (auto& nl : node_local_) {
+    if (nl->name() == name) return *nl;
+  }
+  throw util::SimError("no node-local tier named " + name);
+}
+
+mpi::Comm& Simulation::add_comm(int procs, int nodes) {
+  comms_.push_back(make_comm(procs, nodes));
+  return *comms_.back();
+}
+
+mpi::Comm& Simulation::add_comm_mapped(std::vector<int> rank_to_node) {
+  comms_.push_back(std::make_unique<mpi::Comm>(
+      engine_, std::move(rank_to_node),
+      mpi::NetParams{spec_.nic.bandwidth_bps, spec_.nic.latency}));
+  return *comms_.back();
+}
+
+std::unique_ptr<mpi::Comm> Simulation::make_comm(int procs, int nodes) {
+  WASP_CHECK_MSG(nodes > 0 && nodes <= spec_.nodes,
+                 "communicator spans more nodes than the cluster has");
+  WASP_CHECK_MSG(procs >= nodes, "fewer ranks than nodes");
+  std::vector<int> rank_to_node(static_cast<std::size_t>(procs));
+  const int per_node = (procs + nodes - 1) / nodes;
+  for (int r = 0; r < procs; ++r) {
+    rank_to_node[static_cast<std::size_t>(r)] = r / per_node;
+  }
+  return std::make_unique<mpi::Comm>(
+      engine_, std::move(rank_to_node),
+      mpi::NetParams{spec_.nic.bandwidth_bps, spec_.nic.latency});
+}
+
+}  // namespace wasp::runtime

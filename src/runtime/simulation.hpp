@@ -1,0 +1,68 @@
+// Owns everything one simulated job run needs: engine, cluster spec,
+// filesystems, mounts, tracer. Workload models and the interface layers only
+// ever see references into a Simulation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "fs/burst_buffer.hpp"
+#include "fs/mount_table.hpp"
+#include "fs/node_local.hpp"
+#include "fs/pfs.hpp"
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+#include "trace/tracer.hpp"
+
+namespace wasp::runtime {
+
+class Simulation {
+ public:
+  explicit Simulation(cluster::ClusterSpec spec);
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  sim::Engine& engine() noexcept { return engine_; }
+  const cluster::ClusterSpec& spec() const noexcept { return spec_; }
+  fs::ParallelFS& pfs() noexcept { return *pfs_; }
+  fs::MountTable& mounts() noexcept { return mounts_; }
+  trace::Tracer& tracer() noexcept { return tracer_; }
+  const trace::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Node-local tier by name ("shm", "tmp"); throws if absent.
+  fs::NodeLocalFS& node_local(const std::string& name);
+
+  bool has_shared_bb() const noexcept { return shared_bb_ != nullptr; }
+  /// Shared burst buffer; throws if the cluster has none.
+  fs::BurstBufferFS& shared_bb();
+
+  mpi::NetParams net() const noexcept {
+    return mpi::NetParams{spec_.nic.bandwidth_bps, spec_.nic.latency};
+  }
+
+  /// Build a communicator with `procs` ranks block-distributed over
+  /// `nodes` nodes (ranks 0..k-1 on node 0, etc.).
+  std::unique_ptr<mpi::Comm> make_comm(int procs, int nodes);
+
+  /// Like make_comm, but the Simulation keeps ownership — use this from
+  /// workload launch functions whose locals die before the engine runs.
+  mpi::Comm& add_comm(int procs, int nodes);
+
+  /// Owned communicator with an explicit rank->node mapping (e.g. per-node
+  /// subgroups for node-scoped collective I/O).
+  mpi::Comm& add_comm_mapped(std::vector<int> rank_to_node);
+
+ private:
+  cluster::ClusterSpec spec_;
+  sim::Engine engine_;
+  std::unique_ptr<fs::ParallelFS> pfs_;
+  std::unique_ptr<fs::BurstBufferFS> shared_bb_;
+  std::vector<std::unique_ptr<fs::NodeLocalFS>> node_local_;
+  std::vector<std::unique_ptr<mpi::Comm>> comms_;
+  fs::MountTable mounts_;
+  trace::Tracer tracer_;
+};
+
+}  // namespace wasp::runtime

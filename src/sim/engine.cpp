@@ -1,0 +1,66 @@
+#include "sim/engine.hpp"
+
+namespace wasp::sim {
+
+Engine::~Engine() {
+  // Destroy any still-suspended root coroutines (e.g., after run_until hit
+  // its limit). Children are destroyed transitively through Task ownership
+  // held in the parent frames.
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::schedule(Time at, std::coroutine_handle<> h) {
+  WASP_CHECK_MSG(at >= now_, "scheduling into the past");
+  queue_.push(Item{at, seq_++, h});
+}
+
+void Engine::spawn(Task<void> task) {
+  WASP_CHECK_MSG(task.valid(), "spawning empty task");
+  auto h = task.release();
+  roots_.push_back(h);
+  schedule(now_, h);
+}
+
+void Engine::check_root_errors() {
+  for (auto h : roots_) {
+    if (h && h.done() && h.promise().error) {
+      std::rethrow_exception(h.promise().error);
+    }
+  }
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    ++events_;
+    item.h.resume();
+  }
+  check_root_errors();
+}
+
+bool Engine::run_until(Time limit) {
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    ++events_;
+    item.h.resume();
+  }
+  check_root_errors();
+  if (queue_.empty()) return true;
+  now_ = limit;
+  return false;
+}
+
+bool Engine::all_roots_done() const noexcept {
+  for (auto h : roots_) {
+    if (h && !h.done()) return false;
+  }
+  return true;
+}
+
+}  // namespace wasp::sim

@@ -1,0 +1,102 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a priority queue of (time, sequence, coroutine) wake-ups.
+// Sequence numbers break ties FIFO, so two events at the same instant always
+// run in schedule order — runs are bit-reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace wasp::sim {
+
+/// Simulated time in integer nanoseconds since the start of the run.
+using Time = std::uint64_t;
+
+inline constexpr Time kNs = 1;
+inline constexpr Time kUs = 1000 * kNs;
+inline constexpr Time kMs = 1000 * kUs;
+inline constexpr Time kSec = 1000 * kMs;
+
+/// Convert a (possibly fractional) second count to integer nanoseconds.
+constexpr Time seconds(double s) noexcept {
+  return static_cast<Time>(s * 1e9 + 0.5);
+}
+/// Convert simulated time to seconds for reporting.
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const noexcept { return now_; }
+
+  /// Wake coroutine `h` at absolute time `at` (must be >= now()).
+  void schedule(Time at, std::coroutine_handle<> h);
+
+  /// Wake coroutine `h` after `delay`.
+  void schedule_after(Time delay, std::coroutine_handle<> h) {
+    schedule(now_ + delay, h);
+  }
+
+  /// Adopt a root task: it starts at the current time and the engine keeps
+  /// it alive until destruction.
+  void spawn(Task<void> task);
+
+  /// Run until the event queue is empty. Rethrows the first exception that
+  /// escaped a root task.
+  void run();
+
+  /// Run until the event queue is empty or simulated time would pass `limit`.
+  /// Returns true if the queue drained.
+  bool run_until(Time limit);
+
+  std::uint64_t events_processed() const noexcept { return events_; }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// True when every spawned root task ran to completion (deadlock /
+  /// starvation detector for tests).
+  bool all_roots_done() const noexcept;
+
+ private:
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Item& o) const noexcept {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void check_root_errors();
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+/// Awaitable that advances the owning process's clock.
+class Delay {
+ public:
+  Delay(Engine& eng, Time d) noexcept : eng_(eng), d_(d) {}
+  bool await_ready() const noexcept { return d_ == 0; }
+  void await_suspend(std::coroutine_handle<> h) { eng_.schedule_after(d_, h); }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& eng_;
+  Time d_;
+};
+
+}  // namespace wasp::sim

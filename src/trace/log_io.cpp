@@ -1,0 +1,212 @@
+#include "trace/log_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace wasp::trace {
+namespace {
+
+constexpr char kMagic[8] = {'W', 'A', 'S', 'P', 'T', 'R', 'C', '2'};
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  WASP_CHECK_MSG(is.good(), "truncated trace log");
+  return v;
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const std::uint64_t n = get_u64(is);
+  WASP_CHECK_MSG(n < (1u << 20), "implausible string length in trace log");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  WASP_CHECK_MSG(is.good(), "truncated trace log");
+  return s;
+}
+
+// Fixed-width on-disk row (independent of struct padding).
+struct Row {
+  std::uint16_t app;
+  std::int32_t rank;
+  std::int32_t node;
+  std::uint8_t iface;
+  std::uint8_t op;
+  std::int16_t fs;
+  std::uint64_t file;
+  std::uint64_t offset;
+  std::uint64_t size;
+  std::uint32_t count;
+  std::uint64_t tstart;
+  std::uint64_t tend;
+  std::uint32_t path_idx;
+  std::uint64_t file_size;
+};
+
+Row to_row(const Record& r, std::uint32_t path_idx,
+           std::uint64_t file_size) {
+  Row row;
+  row.app = r.app;
+  row.rank = r.rank;
+  row.node = r.node;
+  row.iface = static_cast<std::uint8_t>(r.iface);
+  row.op = static_cast<std::uint8_t>(r.op);
+  row.fs = r.file.fs;
+  row.file = r.file.file;
+  row.offset = r.offset;
+  row.size = r.size;
+  row.count = r.count;
+  row.tstart = r.tstart;
+  row.tend = r.tend;
+  row.path_idx = path_idx;
+  row.file_size = file_size;
+  return row;
+}
+
+Record from_row(const Row& row) {
+  Record r;
+  r.app = row.app;
+  r.rank = row.rank;
+  r.node = row.node;
+  r.iface = static_cast<Iface>(row.iface);
+  r.op = static_cast<Op>(row.op);
+  r.file = {row.fs, row.file};
+  r.offset = row.offset;
+  r.size = row.size;
+  r.count = row.count;
+  r.tstart = row.tstart;
+  r.tend = row.tend;
+  return r;
+}
+
+}  // namespace
+
+LogData snapshot(const Tracer& tracer) {
+  LogData data;
+  data.apps.reserve(tracer.num_apps());
+  for (std::size_t a = 0; a < tracer.num_apps(); ++a) {
+    data.apps.push_back(tracer.app_name(static_cast<std::uint16_t>(a)));
+  }
+  for (std::size_t f = 0; f < tracer.num_filesystems(); ++f) {
+    auto& fsys = tracer.filesystem(static_cast<std::int16_t>(f));
+    data.fs_names.push_back(fsys.name());
+    data.fs_shared.push_back(fsys.shared());
+  }
+  data.records = tracer.records();
+  data.paths.reserve(data.records.size());
+  data.file_sizes.reserve(data.records.size());
+  for (const auto& r : data.records) {
+    data.paths.push_back(tracer.path_of(r.file, r.node));
+    std::uint64_t size = 0;
+    if (r.file.valid()) {
+      auto& fsys = tracer.filesystem(r.file.fs);
+      auto& ns = fsys.ns(fs::ProcSite{fsys.shared() ? 0 : r.node, 0});
+      if (r.file.file < ns.inodes().size()) {
+        size = ns.inodes()[r.file.file].size;
+      }
+    }
+    data.file_sizes.push_back(size);
+  }
+  return data;
+}
+
+void write_log(const std::string& filename, const Tracer& tracer) {
+  std::ofstream os(filename, std::ios::binary | std::ios::trunc);
+  WASP_CHECK_MSG(os.good(), "cannot open trace log for write: " + filename);
+  const LogData data = snapshot(tracer);
+
+  // Deduplicate paths into a table.
+  std::vector<std::string> path_table;
+  std::vector<std::uint32_t> path_idx(data.records.size(), 0);
+  {
+    std::unordered_map<std::string, std::uint32_t> index;
+    for (std::size_t i = 0; i < data.records.size(); ++i) {
+      auto [it, fresh] = index.try_emplace(
+          data.paths[i], static_cast<std::uint32_t>(path_table.size()));
+      if (fresh) path_table.push_back(data.paths[i]);
+      path_idx[i] = it->second;
+    }
+  }
+
+  os.write(kMagic, sizeof(kMagic));
+  put_u64(os, data.apps.size());
+  for (const auto& a : data.apps) put_string(os, a);
+  put_u64(os, data.fs_names.size());
+  for (std::size_t f = 0; f < data.fs_names.size(); ++f) {
+    put_string(os, data.fs_names[f]);
+    put_u64(os, data.fs_shared[f] ? 1 : 0);
+  }
+  put_u64(os, path_table.size());
+  for (const auto& p : path_table) put_string(os, p);
+  put_u64(os, data.records.size());
+  for (std::size_t i = 0; i < data.records.size(); ++i) {
+    const Row row = to_row(data.records[i], path_idx[i],
+                           data.file_sizes[i]);
+    os.write(reinterpret_cast<const char*>(&row), sizeof(row));
+  }
+  WASP_CHECK_MSG(os.good(), "short write to trace log: " + filename);
+}
+
+LogData read_log(const std::string& filename) {
+  std::ifstream is(filename, std::ios::binary);
+  WASP_CHECK_MSG(is.good(), "cannot open trace log: " + filename);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  WASP_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 8) == 0,
+                 "not a WASP trace log: " + filename);
+
+  LogData data;
+  const std::uint64_t napps = get_u64(is);
+  for (std::uint64_t i = 0; i < napps; ++i) {
+    data.apps.push_back(get_string(is));
+  }
+  const std::uint64_t nfs = get_u64(is);
+  for (std::uint64_t i = 0; i < nfs; ++i) {
+    data.fs_names.push_back(get_string(is));
+    data.fs_shared.push_back(get_u64(is) != 0);
+  }
+  std::vector<std::string> path_table;
+  const std::uint64_t npaths = get_u64(is);
+  for (std::uint64_t i = 0; i < npaths; ++i) {
+    path_table.push_back(get_string(is));
+  }
+  const std::uint64_t nrecords = get_u64(is);
+  data.records.reserve(nrecords);
+  data.paths.reserve(nrecords);
+  for (std::uint64_t i = 0; i < nrecords; ++i) {
+    Row row;
+    is.read(reinterpret_cast<char*>(&row), sizeof(row));
+    WASP_CHECK_MSG(is.good(), "truncated trace log: " + filename);
+    WASP_CHECK_MSG(row.path_idx < path_table.size() || path_table.empty(),
+                   "bad path index in trace log");
+    data.records.push_back(from_row(row));
+    data.paths.push_back(path_table.empty() ? ""
+                                            : path_table[row.path_idx]);
+    data.file_sizes.push_back(row.file_size);
+  }
+  return data;
+}
+
+void write_csv(std::ostream& os, const Tracer& tracer) {
+  os << "app,rank,node,iface,op,path,offset,size,count,tstart_ns,tend_ns\n";
+  for (const auto& r : tracer.records()) {
+    os << tracer.app_name(r.app) << ',' << r.rank << ',' << r.node << ','
+       << to_string(r.iface) << ',' << to_string(r.op) << ','
+       << tracer.path_of(r.file, r.node) << ',' << r.offset << ',' << r.size
+       << ',' << r.count << ',' << r.tstart << ',' << r.tend << '\n';
+  }
+}
+
+}  // namespace wasp::trace

@@ -1,0 +1,44 @@
+// Row-format trace persistence — the simulated Recorder log files.
+//
+// After a job, the tracer's records can be written to a self-contained
+// binary log (app names + file paths + rows) and read back for offline
+// analysis, mirroring the paper's Recorder-logs-on-GPFS -> Analyzer
+// pipeline. A CSV exporter is provided for human inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "trace/tracer.hpp"
+
+namespace wasp::trace {
+
+/// A trace detached from its Simulation: everything the Analyzer needs.
+struct LogData {
+  std::vector<std::string> apps;
+  std::vector<std::string> fs_names;
+  /// Whether each registered filesystem is node-shared; parallel to
+  /// fs_names.
+  std::vector<bool> fs_shared;
+  /// Path of each record's file ("" when file-less); parallel to records.
+  std::vector<std::string> paths;
+  /// End-of-run size of each record's file; parallel to records.
+  std::vector<std::uint64_t> file_sizes;
+  std::vector<Record> records;
+};
+
+/// Serialize the tracer's current records (binary, versioned header).
+void write_log(const std::string& filename, const Tracer& tracer);
+
+/// Load a log written by write_log. Throws SimError on malformed input.
+LogData read_log(const std::string& filename);
+
+/// Extract LogData from a live tracer without touching disk.
+LogData snapshot(const Tracer& tracer);
+
+/// Human-readable CSV of the records.
+void write_csv(std::ostream& os, const Tracer& tracer);
+
+}  // namespace wasp::trace

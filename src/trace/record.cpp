@@ -1,0 +1,38 @@
+#include "trace/record.hpp"
+
+namespace wasp::trace {
+
+const char* to_string(Iface iface) noexcept {
+  switch (iface) {
+    case Iface::kPosix: return "POSIX";
+    case Iface::kStdio: return "STDIO";
+    case Iface::kMpiio: return "MPI-IO";
+    case Iface::kHdf5: return "HDF5";
+    case Iface::kCpu: return "CPU";
+    case Iface::kGpu: return "GPU";
+    case Iface::kMpi: return "MPI";
+  }
+  return "?";
+}
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kOpen: return "open";
+    case Op::kClose: return "close";
+    case Op::kStat: return "stat";
+    case Op::kSeek: return "seek";
+    case Op::kSync: return "sync";
+    case Op::kUnlink: return "unlink";
+    case Op::kReaddir: return "readdir";
+    case Op::kMetaAccess: return "meta_access";
+    case Op::kCompute: return "compute";
+    case Op::kBarrier: return "barrier";
+    case Op::kBcast: return "bcast";
+    case Op::kSendRecv: return "sendrecv";
+  }
+  return "?";
+}
+
+}  // namespace wasp::trace

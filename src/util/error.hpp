@@ -1,0 +1,35 @@
+// Lightweight checked-invariant support.
+//
+// Simulator invariants are programming errors, not recoverable conditions, so
+// violations throw wasp::util::SimError carrying the failing expression and
+// location. Tests assert on these.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wasp::util {
+
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void raise_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+
+}  // namespace wasp::util
+
+#define WASP_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::wasp::util::raise_check_failure(#expr, __FILE__, __LINE__, "");      \
+    }                                                                        \
+  } while (0)
+
+#define WASP_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::wasp::util::raise_check_failure(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,60 @@
+// Bucketed histograms for request sizes and per-bucket bandwidth, matching
+// the "Request Size and Bandwidth histogram" panels of Figures 1–6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wasp::util {
+
+/// Histogram over byte sizes with caller-supplied upper bucket edges.
+/// A value v lands in the first bucket whose edge is >= v; values beyond the
+/// last edge land in a final overflow bucket.
+class SizeHistogram {
+ public:
+  explicit SizeHistogram(std::vector<Bytes> edges);
+
+  /// The paper's bucket set: <4KB, <64KB, <1MB, <16MB, >=16MB.
+  static SizeHistogram paper_buckets();
+
+  void add(Bytes size, std::uint64_t count = 1, Bytes total_bytes = 0,
+           double total_seconds = 0.0);
+
+  /// Bucket a size would land in (for callers that aggregate their own
+  /// per-bucket quantities, e.g. interval unions).
+  std::size_t bucket_index(Bytes size) const noexcept { return bucket_of(size); }
+
+  /// Add busy time to a bucket after the fact (aggregate-bandwidth wall
+  /// time computed externally via interval union).
+  void add_seconds(std::size_t bucket, double seconds);
+
+  std::size_t num_buckets() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  Bytes bytes(std::size_t bucket) const { return bytes_.at(bucket); }
+  double seconds(std::size_t bucket) const { return seconds_.at(bucket); }
+
+  /// Aggregate bandwidth observed for a bucket (bytes / busy seconds);
+  /// 0 when no time was recorded.
+  double bandwidth(std::size_t bucket) const;
+
+  std::uint64_t total_count() const noexcept;
+  Bytes total_bytes() const noexcept;
+
+  /// Label like "<4KB" / ">=16MB" for output tables.
+  std::string bucket_label(std::size_t bucket) const;
+
+  void merge(const SizeHistogram& other);
+
+ private:
+  std::size_t bucket_of(Bytes size) const noexcept;
+
+  std::vector<Bytes> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<Bytes> bytes_;
+  std::vector<double> seconds_;
+};
+
+}  // namespace wasp::util

@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace wasp::util {
+
+double Rng::normal() noexcept {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 <= 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::gamma(double k, double theta) noexcept {
+  if (k < 1.0) {
+    // Boost shape and correct with a power of a uniform (Marsaglia–Tsang).
+    const double u = uniform();
+    return gamma(k + 1.0, theta) * std::pow(u, 1.0 / k);
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * theta;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * theta;
+    }
+  }
+}
+
+}  // namespace wasp::util

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we use
+// SplitMix64 (public-domain algorithm by Sebastiano Vigna) rather than
+// std::mt19937 + std::distributions, whose outputs are not guaranteed to be
+// identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace wasp::util {
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and exact
+  /// enough for jitter modelling).
+  double normal() noexcept;
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Gamma(shape k, scale theta) via Marsaglia–Tsang; used to model the
+  /// "gamma" data distribution the paper attributes to CosmoFlow.
+  double gamma(double k, double theta) noexcept;
+
+  /// Derive an independent stream (e.g., per rank) from this seed.
+  constexpr Rng fork(std::uint64_t stream) const noexcept {
+    return Rng(state_ ^ (0xA0761D6478BD642FULL * (stream + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace wasp::util

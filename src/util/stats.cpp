@@ -1,0 +1,19 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wasp::util {
+
+double percentile(std::vector<double> values, double p) {
+  WASP_CHECK_MSG(!values.empty(), "percentile of empty sample");
+  WASP_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  const auto n = static_cast<double>(values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace wasp::util

@@ -1,0 +1,66 @@
+// Streaming statistics (Welford) used by the analyzer and benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wasp::util {
+
+/// Single-pass count/mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept { add_weighted(x, 1); }
+
+  /// Weighted add where all `weight` observations share value `x`; O(1).
+  void add_weighted(double x, std::uint64_t weight) noexcept {
+    if (weight == 0) return;
+    const double w = static_cast<double>(weight);
+    const double n = static_cast<double>(count_) + w;
+    const double delta = x - mean_;
+    mean_ += delta * (w / n);
+    m2_ += delta * delta * (static_cast<double>(count_) * w / n);
+    count_ += weight;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(o.count_);
+    const double delta = o.mean_ - mean_;
+    mean_ += delta * (n2 / (n1 + n2));
+    m2_ += o.m2_ + delta * delta * (n1 * n2 / (n1 + n2));
+    count_ += o.count_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile over a materialized sample (nearest-rank definition).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace wasp::util

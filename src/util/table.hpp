@@ -1,0 +1,30 @@
+// Plain-text table rendering for the bench binaries that regenerate the
+// paper's tables and figure panels.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wasp::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Render aligned columns with a rule under the header.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wasp::util

@@ -1,0 +1,67 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace wasp::util {
+namespace {
+
+std::string with_unit(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes n) {
+  const double v = static_cast<double>(n);
+  if (v >= 1e12) return with_unit(v / 1e12, "TB");
+  if (v >= 1e9) return with_unit(v / 1e9, "GB");
+  if (v >= 1e6) return with_unit(v / 1e6, "MB");
+  if (v >= 1e3) return with_unit(v / 1e3, "KB");
+  return with_unit(v, "B");
+}
+
+std::string format_rate(double bytes_per_sec) {
+  if (bytes_per_sec >= 1e12) return with_unit(bytes_per_sec / 1e12, "TB/s");
+  if (bytes_per_sec >= 1e9) return with_unit(bytes_per_sec / 1e9, "GB/s");
+  if (bytes_per_sec >= 1e6) return with_unit(bytes_per_sec / 1e6, "MB/s");
+  if (bytes_per_sec >= 1e3) return with_unit(bytes_per_sec / 1e3, "KB/s");
+  return with_unit(bytes_per_sec, "B/s");
+}
+
+std::string format_seconds(double sec) {
+  if (sec >= 1.0) {
+    char buf[64];
+    if (sec >= 100.0) {
+      std::snprintf(buf, sizeof(buf), "%.0fs", sec);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3gs", sec);
+    }
+    return buf;
+  }
+  if (sec >= 1e-3) return with_unit(sec * 1e3, "ms");
+  if (sec >= 1e-6) return with_unit(sec * 1e6, "us");
+  return with_unit(sec * 1e9, "ns");
+}
+
+std::string format_percent(double fraction) {
+  char buf[64];
+  const double pct = fraction * 100.0;
+  if (pct == std::floor(pct) || pct >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f%%", pct);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%%", pct);
+  }
+  return buf;
+}
+
+}  // namespace wasp::util

@@ -1,0 +1,40 @@
+// Byte and time units used throughout the simulator.
+//
+// All simulated time is kept in integer nanoseconds (sim::Time) for
+// determinism; all data sizes in integer bytes. Helpers here convert to and
+// from human-readable forms for table/figure output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wasp::util {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+inline constexpr Bytes kTiB = 1024ULL * kGiB;
+
+// Decimal units (the paper mixes decimal and binary freely; we use binary
+// internally and print with these helpers).
+inline constexpr Bytes kKB = 1000ULL;
+inline constexpr Bytes kMB = 1000ULL * kKB;
+inline constexpr Bytes kGB = 1000ULL * kMB;
+inline constexpr Bytes kTB = 1000ULL * kGB;
+
+/// "1.5TB", "632MB", "4KB" style formatting (decimal units, 3 significant
+/// digits max), matching how the paper quotes sizes.
+std::string format_bytes(Bytes n);
+
+/// Bandwidth formatting: "64GB/s", "95MB/s".
+std::string format_rate(double bytes_per_sec);
+
+/// Seconds with adaptive precision: "33s", "3567s", "0.3s", "450ms".
+std::string format_seconds(double sec);
+
+/// Percentage: "75%", "1.5%".
+std::string format_percent(double fraction);
+
+}  // namespace wasp::util

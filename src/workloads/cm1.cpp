@@ -1,0 +1,143 @@
+#include "workloads/cm1.hpp"
+
+#include <memory>
+
+#include "io/posix.hpp"
+#include "util/rng.hpp"
+
+namespace wasp::workloads {
+namespace {
+
+constexpr const char* kConfigDir = "/p/gpfs1/cm1/config/";
+constexpr const char* kOutputDir = "/p/gpfs1/cm1/out/";
+constexpr const char* kRestartPath = "/p/gpfs1/cm1/restart.dat";
+
+sim::Task<void> stage_inputs(runtime::Simulation& sim, Cm1Params P) {
+  const auto app = sim.tracer().register_app("cm1-stage");
+  runtime::Proc p(sim, app, 0, 0);
+  io::Posix posix(p);
+  for (int i = 0; i < P.config_files; ++i) {
+    auto f = co_await posix.open(kConfigDir + std::to_string(i),
+                                 io::OpenMode::kWrite);
+    co_await posix.write(f, P.config_file_size, 1);
+    co_await posix.close(f);
+  }
+}
+
+sim::Task<void> rank_body(runtime::Simulation& sim, std::uint16_t app,
+                          mpi::Comm& comm, int rank, Cm1Params P) {
+  runtime::Proc p(sim, app, rank, comm.node_of(rank), &comm);
+  io::Posix posix(p);
+  util::Rng rng = util::Rng(0xC31).fork(static_cast<std::uint64_t>(rank));
+
+  // Phase 1: every rank reads one 16MB configuration file (shared access:
+  // many ranks map to the same file).
+  {
+    const int cfg = rank % P.config_files;
+    auto f = co_await posix.open(kConfigDir + std::to_string(cfg),
+                                 io::OpenMode::kRead);
+    co_await posix.read(f, P.config_file_size / 4, 4);
+    co_await posix.close(f);
+  }
+  co_await p.barrier();
+
+  const int total_procs = comm.size();
+  const auto out_file_bytes =
+      P.output_total / static_cast<util::Bytes>(P.output_files);
+  const auto writes_per_file = static_cast<std::uint32_t>(
+      std::max<util::Bytes>(out_file_bytes / P.write_transfer, 1));
+  const int checkpoint_every =
+      P.checkpoints > 0 ? std::max(P.steps / P.checkpoints, 1) : P.steps + 1;
+
+  int next_output = 0;
+  for (int step = 0; step < P.steps; ++step) {
+    // Compute phase (all ranks, slight per-rank jitter).
+    const double jitter = 0.97 + 0.06 * rng.uniform();
+    co_await p.compute(static_cast<sim::Time>(
+        static_cast<double>(P.compute_per_step) * jitter));
+
+    // Output phase: rank 0 writes this step's share of the output files in
+    // 4KB sequential transfers, seeking between variable regions.
+    if (rank == 0) {
+      const int files_this_step =
+          (P.output_files * (step + 1)) / P.steps - next_output;
+      for (int k = 0; k < files_this_step; ++k, ++next_output) {
+        auto f = co_await posix.open(
+            kOutputDir + std::to_string(next_output), io::OpenMode::kWrite);
+        co_await posix.seek_batch(f, writes_per_file);
+        co_await posix.write(f, P.write_transfer, writes_per_file);
+        co_await posix.seek_batch(f, writes_per_file);
+        co_await posix.close(f);
+      }
+    }
+
+    // Periodic restart checkpoint: every node-leading rank opens/closes the
+    // shared restart file but only rank 0 writes (Fig. 1b).
+    if ((step + 1) % checkpoint_every == 0) {
+      if (comm.is_node_leader(rank)) {
+        auto f = co_await posix.open(kRestartPath, io::OpenMode::kWrite);
+        if (rank == 0) {
+          const auto bytes = P.restart_size /
+                             static_cast<util::Bytes>(
+                                 std::max(P.checkpoints, 1));
+          co_await posix.write(
+              f, P.write_transfer,
+              static_cast<std::uint32_t>(
+                  std::max<util::Bytes>(bytes / P.write_transfer, 1)));
+        }
+        co_await posix.close(f);
+      }
+      co_await p.barrier();
+    }
+  }
+  (void)total_procs;
+  co_await p.barrier();
+}
+
+}  // namespace
+
+Cm1Params Cm1Params::test() {
+  Cm1Params P;
+  P.nodes = 4;
+  P.ranks_per_node = 4;
+  P.steps = 10;
+  P.config_files = 3;
+  P.config_file_size = 2 * util::kMiB;
+  P.output_files = 12;
+  P.output_total = 12 * util::kMiB;
+  P.restart_size = 4 * util::kMiB;
+  P.checkpoints = 2;
+  P.compute_per_step = sim::seconds(0.5);
+  return P;
+}
+
+Workload make_cm1(const Cm1Params& params) {
+  Workload w;
+  w.decl.name = "CM1";
+  w.decl.data_repr = "3D";
+  w.decl.data_distribution = "normal";
+  w.decl.dataset_format = "bin";
+  w.decl.format_attributes = "type: float, #dims: 3";
+  w.decl.file_size_dist = util::format_bytes(params.output_total) + " data / " +
+                          util::format_bytes(params.config_file_size) +
+                          " config";
+  w.decl.job_time_limit_hours = 2;
+  w.decl.cpu_cores_used_per_node = params.ranks_per_node;
+  w.decl.gpus_used_per_node = 0;
+  w.decl.app_memory_per_node = 128 * util::kGiB;
+
+  w.setup = [params](runtime::Simulation& sim) {
+    return stage_inputs(sim, params);
+  };
+  w.launch = [params](runtime::Simulation& sim, const advisor::RunConfig&) {
+    const auto app = sim.tracer().register_app("cm1");
+    auto& comm = sim.add_comm(params.nodes * params.ranks_per_node,
+                              params.nodes);
+    for (int r = 0; r < comm.size(); ++r) {
+      sim.engine().spawn(rank_body(sim, app, comm, r, params));
+    }
+  };
+  return w;
+}
+
+}  // namespace wasp::workloads

@@ -1,0 +1,39 @@
+// CM1 atmospheric-simulation model (paper §III-B.1, Figure 1).
+//
+// I/O shape reproduced:
+//  * all 1280 ranks read 16MB shared configuration files (20GB total, fast
+//    large reads),
+//  * 193 simulation steps alternate compute with output, where ONLY rank 0
+//    writes the simulation data in 4KB sequential transfers across ~737
+//    files (the slow 64MB/s writes of Fig. 1a),
+//  * the first rank of every node opens/closes the shared restart file even
+//    though only rank 0 writes it (Fig. 1b),
+//  * seeks between 4KB regions make ~70% of ops metadata (Table III).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace wasp::workloads {
+
+struct Cm1Params {
+  int nodes = 32;
+  int ranks_per_node = 40;
+  int steps = 193;
+  int config_files = 37;  ///< shared-read input files
+  util::Bytes config_file_size = 16 * util::kMiB;
+  int output_files = 737;  ///< written by rank 0 only
+  util::Bytes output_total = util::kGiB;
+  util::Bytes write_transfer = 4 * util::kKiB;
+  util::Bytes restart_size = 80 * util::kMiB;  ///< shared restart file
+  int checkpoints = 5;
+  sim::Time compute_per_step = sim::seconds(3.1);
+
+  /// Paper-scale configuration (Table I column).
+  static Cm1Params paper() { return Cm1Params{}; }
+  /// Fast configuration for unit tests.
+  static Cm1Params test();
+};
+
+Workload make_cm1(const Cm1Params& params = Cm1Params{});
+
+}  // namespace wasp::workloads

@@ -1,0 +1,29 @@
+// HACC-I/O checkpoint/restart kernel (paper §III-B.2, Figure 2).
+//
+// File-per-process POSIX: every rank writes 632MB of particle variables in
+// 16MB sequential transfers split over several open/write/close rounds
+// (the repeated opens/closes behind HACC's 50% metadata share), then reads
+// the checkpoint back to emulate restart. No compute beyond the in-memory
+// generation phase — the job is almost pure I/O (75% of a 33s run).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace wasp::workloads {
+
+struct HaccParams {
+  int nodes = 32;
+  int ranks_per_node = 40;
+  util::Bytes per_rank_bytes = 632 * util::kMB;
+  util::Bytes transfer = 16 * util::kMiB;
+  int rounds = 7;  ///< open/write/close cycles per phase
+  sim::Time generate_compute = sim::seconds(8.0);
+  bool do_restart_read = true;
+
+  static HaccParams paper() { return HaccParams{}; }
+  static HaccParams test();
+};
+
+Workload make_hacc(const HaccParams& params = HaccParams{});
+
+}  // namespace wasp::workloads

@@ -1,0 +1,100 @@
+#include "workloads/ior.hpp"
+
+#include <algorithm>
+
+#include "io/posix.hpp"
+
+namespace wasp::workloads {
+namespace {
+
+sim::Task<void> rank_body(runtime::Simulation& sim, std::uint16_t app,
+                          mpi::Comm& comm, int rank, IorParams P) {
+  runtime::Proc p(sim, app, rank, comm.node_of(rank), &comm);
+  io::Posix posix(p);
+  const std::string dir =
+      P.target_dir.empty() ? sim.pfs().mount() + "/ior/" : P.target_dir;
+  const std::string path =
+      P.file_per_process ? dir + "data." + std::to_string(rank)
+                         : dir + "data.shared";
+  const auto ops = static_cast<std::uint32_t>(
+      std::max<util::Bytes>(P.block / P.transfer, 1));
+  const util::Bytes offset =
+      P.file_per_process
+          ? 0
+          : static_cast<util::Bytes>(rank) * P.block;
+
+  co_await p.barrier();
+  auto w = co_await posix.open(path, io::OpenMode::kWrite);
+  co_await posix.pwrite(w, offset, P.transfer, ops);
+  co_await posix.close(w);
+  co_await p.barrier();
+
+  if (P.read_back) {
+    auto r = co_await posix.open(path, io::OpenMode::kRead);
+    co_await posix.pread(r, offset, P.transfer, ops);
+    co_await posix.close(r);
+    co_await p.barrier();
+  }
+}
+
+}  // namespace
+
+IorParams IorParams::test() {
+  IorParams P;
+  P.nodes = 2;
+  P.ranks_per_node = 2;
+  P.block = 64 * util::kMiB;
+  P.transfer = 4 * util::kMiB;
+  return P;
+}
+
+Workload make_ior(const IorParams& params) {
+  Workload w;
+  w.decl.name = "IOR";
+  w.decl.data_repr = "1D";
+  w.decl.dataset_format = "bin";
+  w.decl.cpu_cores_used_per_node = params.ranks_per_node;
+  w.launch = [params](runtime::Simulation& sim, const advisor::RunConfig&) {
+    const auto app = sim.tracer().register_app("ior");
+    auto& comm = sim.add_comm(params.nodes * params.ranks_per_node,
+                              params.nodes);
+    for (int r = 0; r < comm.size(); ++r) {
+      sim.engine().spawn(rank_body(sim, app, comm, r, params));
+    }
+  };
+  return w;
+}
+
+std::pair<double, double> measure_ior(const cluster::ClusterSpec& spec,
+                                      const IorParams& params) {
+  // IOR reports the bandwidth of each phase separately; drop the client
+  // cache so the read phase measures the servers, not local reuse.
+  runtime::Simulation sim(spec);
+  sim.pfs().set_client_cache_enabled(false);
+  auto out = run_with(sim, make_ior(params), advisor::RunConfig{},
+                      analysis::Analyzer::Options{});
+  const double total = static_cast<double>(params.block) *
+                       params.nodes * params.ranks_per_node;
+  // Phase durations from the profile: write phase is the span of write
+  // ops, read phase the span of reads.
+  sim::Time w0 = ~sim::Time{0};
+  sim::Time w1 = 0;
+  sim::Time r0 = ~sim::Time{0};
+  sim::Time r1 = 0;
+  for (const auto& rec : sim.tracer().records()) {
+    if (rec.op == trace::Op::kWrite) {
+      w0 = std::min(w0, rec.tstart);
+      w1 = std::max(w1, rec.tend);
+    } else if (rec.op == trace::Op::kRead) {
+      r0 = std::min(r0, rec.tstart);
+      r1 = std::max(r1, rec.tend);
+    }
+  }
+  const double write_bw =
+      w1 > w0 ? total / sim::to_seconds(w1 - w0) / 1e9 : 0.0;
+  const double read_bw =
+      r1 > r0 ? total / sim::to_seconds(r1 - r0) / 1e9 : 0.0;
+  return {write_bw, read_bw};
+}
+
+}  // namespace wasp::workloads

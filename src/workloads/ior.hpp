@@ -1,0 +1,29 @@
+// IOR-style synthetic benchmark — the tool the paper's Table IX uses to
+// establish the shared-storage bandwidth envelope ("64GB/s using 32 node
+// IOR"). Sequential block writes then reads, file-per-process or shared.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace wasp::workloads {
+
+struct IorParams {
+  int nodes = 32;
+  int ranks_per_node = 1;
+  util::Bytes block = util::kGiB;       ///< per-rank volume
+  util::Bytes transfer = 16 * util::kMiB;
+  bool file_per_process = true;
+  bool read_back = true;
+  std::string target_dir;  ///< default: "<pfs mount>/ior/"
+
+  static IorParams paper() { return IorParams{}; }
+  static IorParams test();
+};
+
+Workload make_ior(const IorParams& params = IorParams{});
+
+/// Convenience: run IOR and return (write GB/s, read GB/s) aggregate.
+std::pair<double, double> measure_ior(const cluster::ClusterSpec& spec,
+                                      const IorParams& params);
+
+}  // namespace wasp::workloads

@@ -1,0 +1,37 @@
+// JAG ICF surrogate model (paper §III-B.4, Figure 4).
+//
+// 128 GPU processes read a single shared 200MB NumPy file through STDIO.
+// Each rank reads its ~1.6MB sample share in <4KB accesses with two seeks
+// per sample (npy header hop + sample hop) — 70% of ops are metadata.
+// The first epoch feeds the input pipeline from the PFS; later epochs hit
+// the in-memory sample cache (no I/O). Rank 0 writes a small checkpoint
+// per epoch, and a validation read phase closes the job (the second I/O
+// burst at the end of Fig. 4c).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace wasp::workloads {
+
+struct JagParams {
+  int nodes = 32;
+  int procs_per_node = 4;
+  util::Bytes dataset_bytes = 200 * util::kMB;
+  util::Bytes sample_size = 2 * util::kKB;
+  int epochs = 100;
+  int batches_per_epoch = 25;
+  /// First epoch is input-pipeline bound; later epochs hit the cache.
+  sim::Time first_epoch_batch_compute = sim::seconds(2.5);
+  sim::Time later_epoch_batch_compute = sim::seconds(0.44);
+  util::Bytes checkpoint_bytes = 20 * util::kKB;
+  /// Shuffled samples served per synchronous buffer fetch (locality of the
+  /// shuffle window); lower = more random = slower input pipeline.
+  std::uint32_t samples_per_fetch = 32;
+
+  static JagParams paper() { return JagParams{}; }
+  static JagParams test();
+};
+
+Workload make_jag(const JagParams& params = JagParams{});
+
+}  // namespace wasp::workloads

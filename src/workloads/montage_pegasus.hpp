@@ -1,0 +1,52 @@
+// Montage galactic-plane workflow under Pegasus (paper §III-B.6, Figure 6).
+//
+// Nine kernels scheduled by a pegasus-mpi-cluster-style slot pool (1280
+// worker processes over 32 nodes):
+//   mProject(960) -> mDiff(5209) -> mConcatFit(1) -> mBgModel(1) ->
+//   mBackground(960) -> mImgtbl(1) -> mAdd(32) -> mViewer(32)
+// plus the staging kernel. mDiff dominates reads (~60% of the 139GB I/O);
+// everything moves in 64KB-and-smaller STDIO transfers except mViewer's
+// few >16MB writes. The long serial tail (mConcatFit/mBgModel and the
+// 32-wide mAdd/mViewer waves) gives the workflow its 1038s runtime.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace wasp::workloads {
+
+struct MontagePegasusParams {
+  int nodes = 32;
+  int slots = 1280;  ///< pegasus-mpi-cluster worker processes
+  int input_files = 4778;
+  util::Bytes input_size = 3 * util::kMB;
+  int project_tasks = 960;
+  int inputs_per_project = 5;
+  util::Bytes projected_size = 15 * util::kMB;
+  int diff_tasks = 5209;
+  util::Bytes diff_output = 100 * util::kKB;
+  int diff_shards = 32;  ///< diff outputs append into shared shard tables
+  int background_tasks = 960;
+  util::Bytes corrected_size = 9 * util::kMB;
+  int add_tasks = 32;
+  util::Bytes tile_size = 100 * util::kMB;
+  int viewer_tasks = 32;
+  util::Bytes image_size = 46 * util::kMB;
+  util::Bytes transfer = 64 * util::kKiB;
+  util::Bytes small_transfer = 4 * util::kKiB;
+  sim::Time project_compute = sim::seconds(5);
+  sim::Time diff_compute = sim::seconds(3);
+  sim::Time concat_compute = sim::seconds(140);
+  sim::Time bgmodel_compute = sim::seconds(250);
+  sim::Time background_compute = sim::seconds(120);
+  sim::Time imgtbl_compute = sim::seconds(30);
+  sim::Time add_compute = sim::seconds(150);
+  sim::Time viewer_compute = sim::seconds(300);
+
+  static MontagePegasusParams paper() { return MontagePegasusParams{}; }
+  static MontagePegasusParams test();
+};
+
+Workload make_montage_pegasus(
+    const MontagePegasusParams& params = MontagePegasusParams{});
+
+}  // namespace wasp::workloads

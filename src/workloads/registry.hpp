@@ -1,0 +1,43 @@
+// Convenience registry of the six exemplar workloads at paper scale,
+// in the order of the paper's tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/cm1.hpp"
+#include "workloads/cosmoflow.hpp"
+#include "workloads/hacc.hpp"
+#include "workloads/jag.hpp"
+#include "workloads/montage_mpi.hpp"
+#include "workloads/montage_pegasus.hpp"
+
+namespace wasp::workloads {
+
+struct RegistryEntry {
+  std::string name;         ///< the paper's column label
+  std::function<Workload()> make_paper;
+  std::function<Workload()> make_test;
+};
+
+inline std::vector<RegistryEntry> paper_workloads() {
+  return {
+      {"CM1", [] { return make_cm1(Cm1Params::paper()); },
+       [] { return make_cm1(Cm1Params::test()); }},
+      {"HACC (FPP)", [] { return make_hacc(HaccParams::paper()); },
+       [] { return make_hacc(HaccParams::test()); }},
+      {"Cosmoflow", [] { return make_cosmoflow(CosmoflowParams::paper()); },
+       [] { return make_cosmoflow(CosmoflowParams::test()); }},
+      {"JAG", [] { return make_jag(JagParams::paper()); },
+       [] { return make_jag(JagParams::test()); }},
+      {"Montage MPI",
+       [] { return make_montage_mpi(MontageMpiParams::paper()); },
+       [] { return make_montage_mpi(MontageMpiParams::test()); }},
+      {"Montage Pegasus",
+       [] { return make_montage_pegasus(MontagePegasusParams::paper()); },
+       [] { return make_montage_pegasus(MontagePegasusParams::test()); }},
+  };
+}
+
+}  // namespace wasp::workloads

@@ -1,0 +1,45 @@
+#include "workloads/workload.hpp"
+
+#include "util/error.hpp"
+
+namespace wasp::workloads {
+
+RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
+                   const advisor::RunConfig& cfg,
+                   const analysis::Analyzer::Options& analyzer_opts) {
+  WASP_CHECK_MSG(static_cast<bool>(workload.launch), "workload has no launch");
+
+  if (workload.setup) {
+    sim.tracer().set_enabled(false);
+    sim.engine().spawn(workload.setup(sim));
+    sim.engine().run();
+    sim.tracer().set_enabled(true);
+    sim.pfs().drop_client_caches();
+  }
+
+  workload.launch(sim, cfg);
+  sim.engine().run();
+  WASP_CHECK_MSG(sim.engine().all_roots_done(),
+                 "workload deadlocked (roots not done)");
+
+  RunOutput out;
+  analysis::Analyzer analyzer(analyzer_opts);
+  out.profile = analyzer.analyze(sim.tracer());
+  charz::Characterizer characterizer;
+  out.characterization =
+      characterizer.characterize(workload.decl, sim.spec(), out.profile);
+  advisor::RuleEngine rules;
+  out.recommendations = rules.evaluate(out.characterization);
+  out.job_seconds = out.profile.job_runtime_sec;
+  out.engine_events = sim.engine().events_processed();
+  return out;
+}
+
+RunOutput run(const cluster::ClusterSpec& spec, const Workload& workload,
+              const advisor::RunConfig& cfg,
+              const analysis::Analyzer::Options& analyzer_opts) {
+  runtime::Simulation sim(spec);
+  return run_with(sim, workload, cfg, analyzer_opts);
+}
+
+}  // namespace wasp::workloads

@@ -1,0 +1,50 @@
+// Uniform workload harness.
+//
+// A Workload bundles (a) the owner-declared attributes, (b) an untraced
+// setup task that stages input data, and (c) a launch function that spawns
+// every simulated process honoring a RunConfig. The runner executes the
+// whole Vani pipeline: run -> trace -> analyze -> characterize -> recommend.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "advisor/config.hpp"
+#include "advisor/rules.hpp"
+#include "analysis/analyzer.hpp"
+#include "cluster/spec.hpp"
+#include "core/characterizer.hpp"
+#include "runtime/simulation.hpp"
+
+namespace wasp::workloads {
+
+struct Workload {
+  charz::WorkloadDecl decl;
+  /// Stage input datasets (runs untraced before t=0 of the job).
+  std::function<sim::Task<void>(runtime::Simulation&)> setup;
+  /// Spawn all job processes into the engine.
+  std::function<void(runtime::Simulation&, const advisor::RunConfig&)> launch;
+};
+
+struct RunOutput {
+  analysis::WorkloadProfile profile;
+  charz::WorkloadCharacterization characterization;
+  std::vector<advisor::Recommendation> recommendations;
+  /// Wall time of the job in simulated seconds (== profile.job_runtime_sec).
+  double job_seconds = 0.0;
+  std::uint64_t engine_events = 0;
+};
+
+/// Execute the full pipeline on a fresh Simulation.
+RunOutput run(const cluster::ClusterSpec& spec, const Workload& workload,
+              const advisor::RunConfig& cfg = advisor::RunConfig{},
+              const analysis::Analyzer::Options& analyzer_opts =
+                  analysis::Analyzer::Options{});
+
+/// Like run(), but also hands the caller the Simulation afterwards (tests
+/// that inspect filesystem state).
+RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
+                   const advisor::RunConfig& cfg,
+                   const analysis::Analyzer::Options& analyzer_opts);
+
+}  // namespace wasp::workloads

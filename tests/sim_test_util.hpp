@@ -1,0 +1,41 @@
+// Shared helpers for tests that drive coroutines inside a Simulation.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "runtime/proc.hpp"
+#include "runtime/simulation.hpp"
+#include "sim/task.hpp"
+#include "trace/record.hpp"
+
+namespace wasp::testutil {
+
+/// Spawn all tasks at t=0 and run to completion.
+inline void run_all(sim::Engine& eng, std::vector<sim::Task<void>> tasks) {
+  for (auto& t : tasks) eng.spawn(std::move(t));
+  eng.run();
+}
+
+/// Count trace records matching a predicate.
+template <typename Pred>
+std::size_t count_records(const trace::Tracer& tracer, Pred pred) {
+  std::size_t n = 0;
+  for (const auto& r : tracer.records()) {
+    if (pred(r)) ++n;
+  }
+  return n;
+}
+
+/// Sum of `count` over matching records (true op counts, not record counts).
+template <typename Pred>
+std::uint64_t count_ops(const trace::Tracer& tracer, Pred pred) {
+  std::uint64_t n = 0;
+  for (const auto& r : tracer.records()) {
+    if (pred(r)) n += r.count;
+  }
+  return n;
+}
+
+}  // namespace wasp::testutil

@@ -1,0 +1,181 @@
+// Characterizer tests: entity attributes derive correctly from profile +
+// cluster spec + declarations, and the YAML document is well formed.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "core/characterizer.hpp"
+#include "io/posix.hpp"
+#include "sim_test_util.hpp"
+
+namespace wasp::charz {
+namespace {
+
+using runtime::Proc;
+using runtime::Simulation;
+using sim::Task;
+
+struct CharzFixture : ::testing::Test {
+  CharzFixture() : sim(cluster::tiny(2)) {}
+
+  WorkloadCharacterization characterize(WorkloadDecl decl = {}) {
+    analysis::Analyzer analyzer;
+    auto profile = analyzer.analyze(sim.tracer());
+    Characterizer c;
+    return c.characterize(decl, sim.spec(), profile);
+  }
+
+  Simulation sim;
+};
+
+Task<void> simple_prog(Simulation& s, std::uint16_t a) {
+  Proc p(s, a, 0, 0);
+  io::Posix posix(p);
+  auto f = co_await posix.open("/p/gpfs1/data", io::OpenMode::kWrite);
+  co_await posix.write(f, util::kMiB, 8);
+  co_await posix.close(f);
+  auto g = co_await posix.open("/p/gpfs1/data", io::OpenMode::kRead);
+  co_await posix.read(g, util::kMiB, 8);
+  co_await posix.close(g);
+}
+
+TEST_F(CharzFixture, JobEntityReflectsClusterSpec) {
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(simple_prog(sim, app));
+  sim.engine().run();
+
+  auto c = characterize();
+  EXPECT_EQ(c.job.nodes, sim.spec().nodes);
+  EXPECT_EQ(c.job.cpu_cores_per_node, sim.spec().node.cpu_cores);
+  EXPECT_EQ(c.job.gpus_per_node, sim.spec().node.gpus);
+  EXPECT_EQ(c.job.pfs_dir, "/p/gpfs1");
+  EXPECT_NE(c.job.node_local_bb_dirs.find("/dev/shm"), std::string::npos);
+}
+
+TEST_F(CharzFixture, WorkflowEntityAggregatesProfile) {
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(simple_prog(sim, app));
+  sim.engine().run();
+
+  auto c = characterize();
+  EXPECT_EQ(c.workflow.num_apps, 1);
+  EXPECT_EQ(c.workflow.io_amount, 16 * util::kMiB);
+  EXPECT_FALSE(c.workflow.has_app_data_dependency);
+  EXPECT_GT(c.workflow.runtime_sec, 0.0);
+}
+
+TEST_F(CharzFixture, ApplicationEntityPerApp) {
+  const auto app = sim.tracer().register_app("myapp");
+  sim.engine().spawn(simple_prog(sim, app));
+  sim.engine().run();
+
+  auto c = characterize();
+  ASSERT_EQ(c.applications.size(), 1u);
+  EXPECT_EQ(c.applications[0].name, "myapp");
+  EXPECT_EQ(c.applications[0].num_processes, 1);
+  EXPECT_EQ(c.applications[0].interface, "POSIX");
+}
+
+TEST_F(CharzFixture, GranularitiesFromSizeFrequencies) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    io::Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/g", io::OpenMode::kWrite);
+    co_await posix.write(f, util::kMiB, 100);     // dominant
+    co_await posix.write(f, 4 * util::kKiB, 30);  // >=10% -> meta granularity
+    co_await posix.close(f);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+
+  auto c = characterize();
+  EXPECT_EQ(c.high_level_io.data_granularity, util::kMiB);
+  EXPECT_EQ(c.high_level_io.meta_granularity, 4 * util::kKiB);
+  EXPECT_EQ(c.high_level_io.access_pattern, "Seq");
+}
+
+TEST_F(CharzFixture, MiddlewareExtraCoresFromDeclaredUsage) {
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(simple_prog(sim, app));
+  sim.engine().run();
+
+  WorkloadDecl decl;
+  decl.cpu_cores_used_per_node = 1;  // tiny cluster has 4 cores
+  auto c = characterize(decl);
+  EXPECT_EQ(c.middleware.extra_io_cores_per_node, 3);
+}
+
+TEST_F(CharzFixture, StorageEntitiesFromSpec) {
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(simple_prog(sim, app));
+  sim.engine().run();
+
+  auto c = characterize();
+  ASSERT_FALSE(c.node_local.empty());
+  EXPECT_EQ(c.node_local[0].dir, "/dev/shm");
+  EXPECT_EQ(c.shared_storage.dir, "/p/gpfs1");
+  EXPECT_EQ(c.shared_storage.parallel_servers, sim.spec().pfs.num_servers);
+}
+
+TEST_F(CharzFixture, DatasetAndFileEntities) {
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(simple_prog(sim, app));
+  sim.engine().run();
+
+  WorkloadDecl decl;
+  decl.dataset_format = "HDF5";
+  decl.format_attributes = "#dims: 3";
+  auto c = characterize(decl);
+  EXPECT_EQ(c.dataset.format, "HDF5");
+  EXPECT_EQ(c.dataset.num_files, 1u);
+  EXPECT_EQ(c.dataset.size, 8 * util::kMiB);
+  EXPECT_EQ(c.file.path, "/p/gpfs1/data");
+  EXPECT_EQ(c.file.size, 8 * util::kMiB);
+  EXPECT_EQ(c.file.io_amount, 16 * util::kMiB);
+  EXPECT_EQ(c.file.format_attributes, "#dims: 3");
+}
+
+TEST_F(CharzFixture, YamlContainsAllEntityGroups) {
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(simple_prog(sim, app));
+  sim.engine().run();
+
+  WorkloadDecl decl;
+  decl.name = "TestWL";
+  auto yaml = characterize(decl).to_yaml();
+  for (const char* key :
+       {"workload: TestWL", "job:", "job_configuration:", "workflow:",
+        "applications:", "io_phases:", "software:", "high_level_io:",
+        "middleware:", "node_local_storage:", "shared_storage:", "data:",
+        "dataset:", "file:"}) {
+    EXPECT_NE(yaml.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST_F(CharzFixture, PhaseEntitiesOnePerApp) {
+  const auto a1 = sim.tracer().register_app("a1");
+  const auto a2 = sim.tracer().register_app("a2");
+  sim.engine().spawn(simple_prog(sim, a1));
+  sim.engine().spawn(simple_prog(sim, a2));
+  sim.engine().run();
+  auto c = characterize();
+  EXPECT_EQ(c.phases.size(), 2u);
+}
+
+TEST(Entities, AttributeListsHaveStableShape) {
+  // Attribute names drive the bench tables — shape changes should be
+  // deliberate.
+  EXPECT_EQ(JobConfigEntity{}.attributes().size(), 7u);
+  EXPECT_EQ(WorkflowEntity{}.attributes().size(), 8u);
+  EXPECT_EQ(ApplicationEntity{}.attributes().size(), 8u);
+  EXPECT_EQ(IoPhaseEntity{}.attributes().size(), 6u);
+  EXPECT_EQ(HighLevelIoEntity{}.attributes().size(), 5u);
+  EXPECT_EQ(MiddlewareEntity{}.attributes().size(), 5u);
+  EXPECT_EQ(NodeLocalStorageEntity{}.attributes().size(), 4u);
+  EXPECT_EQ(SharedStorageEntity{}.attributes().size(), 4u);
+  EXPECT_EQ(DatasetEntity{}.attributes().size(), 7u);
+  EXPECT_EQ(FileEntity{}.attributes().size(), 7u);
+}
+
+}  // namespace
+}  // namespace wasp::charz

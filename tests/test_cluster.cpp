@@ -1,0 +1,67 @@
+// Cluster preset sanity: the Lassen constants the whole calibration rests
+// on, the Cori variant, and spec arithmetic.
+#include <gtest/gtest.h>
+
+#include "cluster/spec.hpp"
+
+namespace wasp::cluster {
+namespace {
+
+TEST(Presets, LassenMatchesThePaperTestbed) {
+  const auto c = lassen(32);
+  EXPECT_EQ(c.name, "lassen");
+  EXPECT_EQ(c.nodes, 32);
+  EXPECT_EQ(c.node.cpu_cores, 40);
+  EXPECT_EQ(c.node.gpus, 4);
+  EXPECT_EQ(c.node.memory, 256 * util::kGiB);
+  EXPECT_EQ(c.pfs.mount, "/p/gpfs1");
+  EXPECT_EQ(c.pfs.capacity, 24ULL * 1024 * util::kTiB);  // 24 PiB
+  // The Table IX envelope: ~64GB/s aggregate.
+  EXPECT_NEAR(c.pfs.server_bandwidth_bps * c.pfs.num_servers, 64e9, 2e9);
+  // 100 Gb/s EDR InfiniBand.
+  EXPECT_DOUBLE_EQ(c.nic.bandwidth_bps, 12.5e9);
+  // No shared burst buffer on Lassen (Table II: NA).
+  EXPECT_FALSE(c.shared_bb.has_value());
+  // /dev/shm and /tmp tiers.
+  ASSERT_EQ(c.node_local.size(), 2u);
+  EXPECT_EQ(c.node_local[0].mount, "/dev/shm");
+  EXPECT_EQ(c.node_local[1].mount, "/tmp");
+  // JAG's Table VIII: 64 parallel ops, 32GB/s per node.
+  EXPECT_EQ(c.node_local[0].parallel_ops, 64u);
+  EXPECT_DOUBLE_EQ(c.node_local[0].bandwidth_bps, 32e9);
+}
+
+TEST(Presets, CoriHasDataWarpAndNoGpus) {
+  const auto c = cori(16);
+  EXPECT_EQ(c.nodes, 16);
+  EXPECT_EQ(c.node.gpus, 0);
+  ASSERT_TRUE(c.shared_bb.has_value());
+  EXPECT_EQ(c.shared_bb->mount, "/p/bb");
+  // DataWarp-class aggregate (~1.7TB/s).
+  EXPECT_GT(c.shared_bb->server_bandwidth_bps * c.shared_bb->num_servers,
+            1.0e12);
+  EXPECT_EQ(c.pfs.name, "lustre");
+}
+
+TEST(Presets, TinyIsSmallAndFast) {
+  const auto c = tiny();
+  EXPECT_LE(c.nodes, 4);
+  EXPECT_LE(c.node.cpu_cores, 4);
+  EXPECT_FALSE(c.shared_bb.has_value());
+}
+
+TEST(Spec, TotalsArithmetic) {
+  auto c = lassen(8);
+  EXPECT_EQ(c.total_cores(), 8 * 40);
+  EXPECT_EQ(c.total_gpus(), 8 * 4);
+}
+
+TEST(Spec, NodeCountParameterPropagates) {
+  for (int n : {1, 32, 256}) {
+    EXPECT_EQ(lassen(n).nodes, n);
+    EXPECT_EQ(cori(n).nodes, n);
+  }
+}
+
+}  // namespace
+}  // namespace wasp::cluster

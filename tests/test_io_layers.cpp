@@ -1,0 +1,374 @@
+// Interface-layer tests: POSIX semantics, STDIO buffering, MPI-IO collective
+// aggregation, HDF5 metadata amplification — and that the tracer sees
+// user-level ops while library-internal I/O stays suppressed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "io/hdf5.hpp"
+#include "io/mpiio.hpp"
+#include "io/posix.hpp"
+#include "io/stdio.hpp"
+#include "sim_test_util.hpp"
+#include "util/error.hpp"
+
+namespace wasp::io {
+namespace {
+
+using runtime::Proc;
+using runtime::Simulation;
+using sim::Task;
+using testutil::count_ops;
+using testutil::count_records;
+
+struct IoFixture : ::testing::Test {
+  IoFixture() : sim(cluster::tiny(2)) {}
+  Simulation sim;
+};
+
+TEST_F(IoFixture, PosixWriteThenReadRoundTrip) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/out", OpenMode::kWrite);
+    co_await posix.write(f, 1024, 4);
+    co_await posix.close(f);
+    EXPECT_EQ(posix.size_of("/p/gpfs1/out"), 4096u);
+
+    auto r = co_await posix.open("/p/gpfs1/out", OpenMode::kRead);
+    co_await posix.read(r, 4096, 1);
+    co_await posix.close(r);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+
+  EXPECT_EQ(count_ops(sim.tracer(),
+                      [](const trace::Record& r) {
+                        return r.op == trace::Op::kWrite;
+                      }),
+            4u);
+  EXPECT_EQ(count_ops(sim.tracer(),
+                      [](const trace::Record& r) {
+                        return r.op == trace::Op::kOpen;
+                      }),
+            2u);
+}
+
+TEST_F(IoFixture, PosixReadMissingFileThrows) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    EXPECT_THROW(
+        { [[maybe_unused]] auto f =
+              co_await posix.open("/p/gpfs1/nope", OpenMode::kRead); },
+        util::SimError);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST_F(IoFixture, PosixReadPastEofThrows) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/x", OpenMode::kWrite);
+    co_await posix.write(f, 100, 1);
+    co_await posix.close(f);
+    auto r = co_await posix.open("/p/gpfs1/x", OpenMode::kRead);
+    EXPECT_THROW({ co_await posix.read(r, 101, 1); }, util::SimError);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST_F(IoFixture, PosixAppendStartsAtEof) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/x", OpenMode::kWrite);
+    co_await posix.write(f, 100, 1);
+    co_await posix.close(f);
+    auto g = co_await posix.open("/p/gpfs1/x", OpenMode::kAppend);
+    EXPECT_EQ(g.offset, 100u);
+    co_await posix.write(g, 50, 1);
+    co_await posix.close(g);
+    EXPECT_EQ(posix.size_of("/p/gpfs1/x"), 150u);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST_F(IoFixture, NodeLocalWriteEnospc) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto f = co_await posix.open("/dev/shm/big", OpenMode::kWrite);
+    const auto cap = s.node_local("shm").spec().capacity;
+    EXPECT_THROW({ co_await posix.write(f, cap + 1, 1); }, util::SimError);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST_F(IoFixture, UnlinkReleasesNodeLocalCapacity) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto& shm = s.node_local("shm");
+    auto f = co_await posix.open("/dev/shm/tmpf", OpenMode::kWrite);
+    co_await posix.write(f, util::kMiB, 1);
+    co_await posix.close(f);
+    EXPECT_EQ(shm.used_bytes(0), util::kMiB);
+    co_await posix.unlink("/dev/shm/tmpf");
+    EXPECT_EQ(shm.used_bytes(0), 0u);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST_F(IoFixture, StdioBufferingCoalescesSmallWritesAtTheFs) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Stdio stdio(p, 4 * util::kKiB);
+    auto f = co_await stdio.fopen("/p/gpfs1/s", OpenMode::kWrite);
+    co_await stdio.fwrite(f, 64, 1024);  // 64KiB in 64B user ops
+    co_await stdio.fclose(f);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+
+  // Trace sees 1024 user-level STDIO writes...
+  EXPECT_EQ(count_ops(sim.tracer(),
+                      [](const trace::Record& r) {
+                        return r.iface == trace::Iface::kStdio &&
+                               r.op == trace::Op::kWrite;
+                      }),
+            1024u);
+  // ...but the filesystem served only ~16 buffer-sized flushes.
+  EXPECT_LE(sim.pfs().counters().data_ops, 17u);
+  EXPECT_EQ(sim.pfs().counters().bytes_written, 64 * util::kKiB);
+}
+
+TEST_F(IoFixture, StdioReadaheadCoalescesSmallReads) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto w = co_await posix.open("/p/gpfs1/r", OpenMode::kWrite);
+    co_await posix.write(w, 64 * util::kKiB, 1);
+    co_await posix.close(w);
+
+    Stdio stdio(p, 8 * util::kKiB);
+    auto f = co_await stdio.fopen("/p/gpfs1/r", OpenMode::kRead);
+    co_await stdio.fread(f, 128, 512);  // 64KiB in 128B user ops
+    co_await stdio.fclose(f);
+  };
+  const auto before = sim.pfs().counters().data_ops;
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+  // 1 posix write + 8 readahead fetches of 8KiB.
+  EXPECT_LE(sim.pfs().counters().data_ops - before, 10u);
+  EXPECT_EQ(count_ops(sim.tracer(),
+                      [](const trace::Record& r) {
+                        return r.iface == trace::Iface::kStdio &&
+                               r.op == trace::Op::kRead;
+                      }),
+            512u);
+}
+
+TEST_F(IoFixture, StdioLargeWritesBypassBuffer) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Stdio stdio(p, 4 * util::kKiB);
+    auto f = co_await stdio.fopen("/p/gpfs1/big", OpenMode::kWrite);
+    co_await stdio.fwrite(f, util::kMiB, 2);
+    co_await stdio.fclose(f);
+    EXPECT_EQ(s.pfs().ns({0, 0}).inode(f.base.id).size, 2 * util::kMiB);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST_F(IoFixture, StdioFseekFlushesAndRepositions) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Stdio stdio(p, 4 * util::kKiB);
+    auto f = co_await stdio.fopen("/p/gpfs1/sk", OpenMode::kWrite);
+    co_await stdio.fwrite(f, 100, 1);  // stays buffered
+    co_await stdio.fseek(f, 1000);     // must flush the 100 bytes
+    co_await stdio.fwrite(f, 100, 1);
+    co_await stdio.fclose(f);
+    EXPECT_EQ(stdio.proc().simulation().pfs().ns({0, 0}).inode(f.base.id).size,
+              1100u);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST_F(IoFixture, MpiioCollectiveOnlyLeadersTouchTheFs) {
+  const auto app = sim.tracer().register_app("t");
+  auto comm = sim.make_comm(4, 2);  // 2 ranks per node
+  std::vector<std::unique_ptr<Proc>> procs;
+  for (int r = 0; r < 4; ++r) {
+    procs.push_back(
+        std::make_unique<Proc>(sim, app, r, comm->node_of(r), comm.get()));
+  }
+
+  // Seed the shared file.
+  auto seed = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/shared", OpenMode::kWrite);
+    co_await posix.write(f, 4 * util::kMiB, 1);
+    co_await posix.close(f);
+  };
+  sim.engine().spawn(seed(sim, app));
+  sim.engine().run();
+  const auto ops_before = sim.pfs().counters().data_ops;
+
+  auto rank_prog = [](Proc& p) -> Task<void> {
+    MpiIo mpiio(p);
+    auto f = co_await mpiio.open_all("/p/gpfs1/shared", OpenMode::kRead);
+    co_await mpiio.read_all(f, 0, util::kMiB, 1);
+    co_await mpiio.close_all(f);
+  };
+  for (auto& p : procs) sim.engine().spawn(rank_prog(*p));
+  sim.engine().run();
+
+  // 2 leaders x 1 aggregated request each.
+  EXPECT_EQ(sim.pfs().counters().data_ops - ops_before, 2u);
+  // But the trace shows all 4 ranks doing a collective read.
+  EXPECT_EQ(count_ops(sim.tracer(),
+                      [](const trace::Record& r) {
+                        return r.iface == trace::Iface::kMpiio &&
+                               r.op == trace::Op::kRead;
+                      }),
+            4u);
+}
+
+TEST_F(IoFixture, MpiioWithoutAggregationEveryRankHitsTheFs) {
+  const auto app = sim.tracer().register_app("t");
+  auto comm = sim.make_comm(4, 2);
+  std::vector<std::unique_ptr<Proc>> procs;
+  for (int r = 0; r < 4; ++r) {
+    procs.push_back(
+        std::make_unique<Proc>(sim, app, r, comm->node_of(r), comm.get()));
+  }
+  auto rank_prog = [](Proc& p) -> Task<void> {
+    MpiIoConfig cfg;
+    cfg.aggregators_per_node = 0;
+    MpiIo mpiio(p, cfg);
+    auto f = co_await mpiio.open_all("/p/gpfs1/shared2", OpenMode::kWrite);
+    co_await mpiio.write_all(f, static_cast<fs::Bytes>(p.rank()) * util::kMiB,
+                             util::kMiB, 1);
+    co_await mpiio.close_all(f);
+  };
+  for (auto& p : procs) sim.engine().spawn(rank_prog(*p));
+  sim.engine().run();
+  EXPECT_EQ(sim.pfs().counters().data_ops, 4u);
+}
+
+TEST_F(IoFixture, Hdf5ContiguousAmplifiesMetadata) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto w = co_await posix.open("/p/gpfs1/d.h5", OpenMode::kWrite);
+    co_await posix.write(w, 32 * util::kMiB, 1);
+    co_await posix.close(w);
+
+    Hdf5 hdf5(p);
+    Hdf5Config cfg;
+    cfg.use_mpiio = false;
+    cfg.chunk_size = 0;  // contiguous
+    auto f = co_await hdf5.open("/p/gpfs1/d.h5", OpenMode::kRead, cfg);
+    co_await hdf5.read(f, 0, util::kMiB, 8);
+    co_await hdf5.close(f);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+
+  const auto meta = count_ops(sim.tracer(), [](const trace::Record& r) {
+    return r.iface == trace::Iface::kHdf5 && r.op == trace::Op::kMetaAccess;
+  });
+  // 4 at open + 2 per access x 8 accesses.
+  EXPECT_EQ(meta, 20u);
+}
+
+TEST_F(IoFixture, Hdf5ChunkedCutsMetadataPerAccess) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto w = co_await posix.open("/p/gpfs1/c.h5", OpenMode::kWrite);
+    co_await posix.write(w, 32 * util::kMiB, 1);
+    co_await posix.close(w);
+
+    Hdf5 hdf5(p);
+    Hdf5Config cfg;
+    cfg.use_mpiio = false;
+    cfg.chunk_size = util::kMiB;
+    auto f = co_await hdf5.open("/p/gpfs1/c.h5", OpenMode::kRead, cfg);
+    co_await hdf5.read(f, 0, util::kMiB, 8);
+    co_await hdf5.close(f);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+
+  const auto meta = count_ops(sim.tracer(), [](const trace::Record& r) {
+    return r.iface == trace::Iface::kHdf5 && r.op == trace::Op::kMetaAccess;
+  });
+  // 4 at open + 1 cached b-tree probe for the batch.
+  EXPECT_EQ(meta, 5u);
+}
+
+TEST_F(IoFixture, SuppressionHidesInternalOpsFromTrace) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    runtime::Proc::Suppression mute(p);
+    auto f = co_await posix.open("/p/gpfs1/hidden", OpenMode::kWrite);
+    co_await posix.write(f, 1024, 1);
+    co_await posix.close(f);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+  EXPECT_EQ(sim.tracer().records().size(), 0u);
+  // The filesystem still did the work.
+  EXPECT_EQ(sim.pfs().counters().bytes_written, 1024u);
+}
+
+TEST_F(IoFixture, ComputeSpansAreTraced) {
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    co_await p.compute(10 * sim::kMs);
+    co_await p.gpu_compute(20 * sim::kMs);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+  EXPECT_EQ(count_records(sim.tracer(),
+                          [](const trace::Record& r) {
+                            return r.iface == trace::Iface::kCpu;
+                          }),
+            1u);
+  EXPECT_EQ(count_records(sim.tracer(),
+                          [](const trace::Record& r) {
+                            return r.iface == trace::Iface::kGpu;
+                          }),
+            1u);
+  EXPECT_EQ(sim.engine().now(), 30 * sim::kMs);
+}
+
+}  // namespace
+}  // namespace wasp::io

@@ -1,0 +1,248 @@
+// Property-style parameterized sweeps over simulator invariants:
+//  * byte conservation through every interface layer,
+//  * trace/op-count exactness under coalescing,
+//  * monotonic simulated time and deterministic replay,
+//  * fair-share bandwidth bounds on the shared link,
+//  * phase partitions covering all I/O ops.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/analyzer.hpp"
+#include "io/posix.hpp"
+#include "io/stdio.hpp"
+#include "sim_test_util.hpp"
+#include "sim/link.hpp"
+#include "util/rng.hpp"
+
+namespace wasp {
+namespace {
+
+using runtime::Proc;
+using runtime::Simulation;
+using sim::Task;
+
+// ---------------------------------------------------------------------------
+// STDIO buffering conservation: for any (op size, count, buffer size), the
+// filesystem receives exactly the bytes the user wrote, and the trace keeps
+// the exact user op count.
+// ---------------------------------------------------------------------------
+using StdioCase = std::tuple<std::size_t, std::uint32_t, std::size_t>;
+
+class StdioConservation : public ::testing::TestWithParam<StdioCase> {};
+
+TEST_P(StdioConservation, BytesAndOpsConserved) {
+  const auto [size, count, buffer] = GetParam();
+  Simulation sim(cluster::tiny(2));
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a, fs::Bytes sz,
+                 std::uint32_t n, fs::Bytes buf) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    io::Stdio stdio(p, buf);
+    auto f = co_await stdio.fopen("/p/gpfs1/cons", io::OpenMode::kWrite);
+    co_await stdio.fwrite(f, sz, n);
+    co_await stdio.fclose(f);
+    auto g = co_await stdio.fopen("/p/gpfs1/cons", io::OpenMode::kRead);
+    co_await stdio.fread(g, sz, n);
+    co_await stdio.fclose(g);
+  };
+  sim.engine().spawn(prog(sim, app, size, count, buffer));
+  sim.engine().run();
+
+  const fs::Bytes total = static_cast<fs::Bytes>(size) * count;
+  EXPECT_EQ(sim.pfs().counters().bytes_written, total);
+  EXPECT_GE(sim.pfs().counters().bytes_read, total);  // readahead may over-read
+  EXPECT_LE(sim.pfs().counters().bytes_read, total + 2 * buffer);
+  EXPECT_EQ(sim.pfs().ns({0, 0}).inode(0).size, total);
+
+  EXPECT_EQ(testutil::count_ops(sim.tracer(),
+                                [](const trace::Record& r) {
+                                  return r.iface == trace::Iface::kStdio &&
+                                         r.op == trace::Op::kWrite;
+                                }),
+            count);
+  EXPECT_EQ(testutil::count_ops(sim.tracer(),
+                                [](const trace::Record& r) {
+                                  return r.iface == trace::Iface::kStdio &&
+                                         r.op == trace::Op::kRead;
+                                }),
+            count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StdioConservation,
+    ::testing::Values(
+        StdioCase{64, 1000, 4096},          // tiny ops, default buffer
+        StdioCase{100, 333, 4096},          // non-dividing sizes
+        StdioCase{4096, 64, 4096},          // op == buffer
+        StdioCase{5000, 50, 4096},          // op > buffer (direct path)
+        StdioCase{1 << 20, 4, 4096},        // large direct
+        StdioCase{64, 1000, 1 << 20},       // huge buffer
+        StdioCase{1, 4096, 512},            // byte-at-a-time
+        StdioCase{7777, 13, 65536}));       // odd everything
+
+// ---------------------------------------------------------------------------
+// POSIX coalescing: a (size, count) batch behaves like count sequential ops.
+// ---------------------------------------------------------------------------
+using PosixCase = std::tuple<std::size_t, std::uint32_t>;
+
+class PosixCoalescing : public ::testing::TestWithParam<PosixCase> {};
+
+TEST_P(PosixCoalescing, InodeSizeAndCountersMatch) {
+  const auto [size, count] = GetParam();
+  Simulation sim(cluster::tiny(2));
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a, fs::Bytes sz,
+                 std::uint32_t n) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    io::Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/coal", io::OpenMode::kWrite);
+    co_await posix.write(f, sz, n);
+    EXPECT_EQ(f.offset, sz * n);
+    co_await posix.close(f);
+  };
+  sim.engine().spawn(prog(sim, app, size, count));
+  sim.engine().run();
+  EXPECT_EQ(sim.pfs().counters().bytes_written,
+            static_cast<fs::Bytes>(size) * count);
+  EXPECT_EQ(sim.pfs().counters().data_ops, count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PosixCoalescing,
+                         ::testing::Combine(::testing::Values(1, 4096,
+                                                              1 << 20),
+                                            ::testing::Values(1, 7, 256)));
+
+// ---------------------------------------------------------------------------
+// Trace invariants on randomized workloads: time monotonicity per rank,
+// tend >= tstart, phases partition the records, histograms count data ops.
+// ---------------------------------------------------------------------------
+class RandomWorkloadInvariants : public ::testing::TestWithParam<int> {};
+
+Task<void> random_rank(Simulation& s, std::uint16_t a, int rank, int seed) {
+  Proc p(s, a, rank, rank % s.spec().nodes);
+  io::Posix posix(p);
+  util::Rng rng = util::Rng(static_cast<std::uint64_t>(seed)).fork(
+      static_cast<std::uint64_t>(rank));
+  const std::string path = "/p/gpfs1/rand_" + std::to_string(rank);
+  auto f = co_await posix.open(path, io::OpenMode::kWrite);
+  fs::Bytes written = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto sz = static_cast<fs::Bytes>(1 + rng.below(256 * 1024));
+    const auto n = static_cast<std::uint32_t>(1 + rng.below(16));
+    co_await posix.write(f, sz, n);
+    written += sz * n;
+    if (rng.below(3) == 0) co_await p.compute(sim::seconds(rng.uniform(0, 3)));
+  }
+  co_await posix.close(f);
+  auto g = co_await posix.open(path, io::OpenMode::kRead);
+  co_await posix.read(g, written / 4 + 1, 2);
+  co_await posix.close(g);
+}
+
+TEST_P(RandomWorkloadInvariants, HoldForSeed) {
+  const int seed = GetParam();
+  Simulation sim(cluster::tiny(2));
+  const auto app = sim.tracer().register_app("rand");
+  for (int r = 0; r < 6; ++r) {
+    sim.engine().spawn(random_rank(sim, app, r, seed));
+  }
+  sim.engine().run();
+
+  // Per-rank monotonic non-overlapping ops; globally tend >= tstart.
+  std::map<std::int32_t, sim::Time> last_end;
+  for (const auto& rec : sim.tracer().records()) {
+    EXPECT_GE(rec.tend, rec.tstart);
+    if (trace::is_io(rec.op)) {
+      EXPECT_GE(rec.tstart, last_end[rec.rank]);
+      last_end[rec.rank] = rec.tend;
+    }
+  }
+
+  analysis::Analyzer analyzer;
+  auto profile = analyzer.analyze(sim.tracer());
+
+  // Phases partition all I/O ops of the app.
+  std::uint64_t phase_ops = 0;
+  for (const auto& ph : profile.phases) phase_ops += ph.ops.total_ops();
+  EXPECT_EQ(phase_ops, profile.totals.total_ops());
+
+  // Histogram counts match data op counts.
+  EXPECT_EQ(profile.read_hist.total_count(), profile.totals.read_ops);
+  EXPECT_EQ(profile.write_hist.total_count(), profile.totals.write_ops);
+  EXPECT_EQ(profile.read_hist.total_bytes(), profile.totals.read_bytes);
+  EXPECT_EQ(profile.write_hist.total_bytes(), profile.totals.write_bytes);
+
+  // Filesystem counters agree with the trace totals.
+  EXPECT_EQ(sim.pfs().counters().bytes_written, profile.totals.write_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// ---------------------------------------------------------------------------
+// SharedLink fair-share bounds: with N identical concurrent transfers, the
+// completion time is within [bytes/capacity, N*bytes/capacity] and the link
+// moves every byte.
+// ---------------------------------------------------------------------------
+class LinkFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkFairness, AggregateBandwidthBounded) {
+  const int streams = GetParam();
+  sim::Engine eng;
+  sim::SharedLink::Config cfg;
+  cfg.capacity_bps = 10e9;
+  cfg.per_stream_bps = 10e9;
+  cfg.max_streams = 1024;
+  cfg.latency = 0;
+  sim::SharedLink link(eng, cfg);
+  const util::Bytes each = 100 * util::kMiB;
+  auto xfer = [](sim::SharedLink& l, util::Bytes n) -> Task<void> {
+    co_await l.transfer(n);
+  };
+  for (int i = 0; i < streams; ++i) eng.spawn(xfer(link, each));
+  eng.run();
+  const double total =
+      static_cast<double>(each) * static_cast<double>(streams);
+  const double t = sim::to_seconds(eng.now());
+  EXPECT_GE(t, total / cfg.capacity_bps * 0.99);
+  // Snapshot fair-share can serialize pessimally but never worse than
+  // strictly sequential.
+  EXPECT_LE(t, total / cfg.capacity_bps * streams + 1e-6);
+  EXPECT_EQ(link.bytes_moved(), each * static_cast<util::Bytes>(streams));
+  EXPECT_EQ(link.transfers_completed(),
+            static_cast<std::uint64_t>(streams));
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, LinkFairness,
+                         ::testing::Values(1, 2, 4, 16, 64, 200));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds give bit-identical engine traces.
+// ---------------------------------------------------------------------------
+class Determinism : public ::testing::TestWithParam<int> {};
+
+TEST_P(Determinism, SameSeedSameTrace) {
+  auto run_once = [](int seed) {
+    Simulation sim(cluster::tiny(2));
+    const auto app = sim.tracer().register_app("rand");
+    for (int r = 0; r < 4; ++r) {
+      sim.engine().spawn(random_rank(sim, app, r, seed));
+    }
+    sim.engine().run();
+    std::vector<std::pair<sim::Time, sim::Time>> times;
+    for (const auto& rec : sim.tracer().records()) {
+      times.emplace_back(rec.tstart, rec.tend);
+    }
+    return std::make_pair(sim.engine().now(), times);
+  };
+  const auto a = run_once(GetParam());
+  const auto b = run_once(GetParam());
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Determinism, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace wasp

@@ -1,0 +1,191 @@
+// Hierarchical buffering middleware: staging, hits/misses, write-back
+// flushes, capacity pressure and eviction policies.
+#include <gtest/gtest.h>
+
+#include "io/tiered_buffer.hpp"
+#include "sim_test_util.hpp"
+
+namespace wasp::io {
+namespace {
+
+using runtime::Proc;
+using runtime::Simulation;
+using sim::Task;
+
+struct TbFixture : ::testing::Test {
+  TbFixture() : sim(cluster::tiny(2)) {}
+  Simulation sim;
+};
+
+// Coroutine helpers take `path` by value: they outlive the spawn call.
+Task<void> produce(Simulation& s, std::uint16_t a, TieredBuffer& tb,
+                   std::string path, fs::Bytes bytes) {
+  Proc p(s, a, 0, 0);
+  auto f = co_await tb.open(p, path, OpenMode::kWrite);
+  co_await tb.write(p, f, bytes, 1);
+  co_await tb.close(p, f);
+}
+
+Task<void> consume(Simulation& s, std::uint16_t a, TieredBuffer& tb,
+                   std::string path, fs::Bytes bytes) {
+  Proc p(s, a, 0, 0);
+  auto f = co_await tb.open(p, path, OpenMode::kRead);
+  co_await tb.read(p, f, bytes, 1);
+  co_await tb.close(p, f);
+}
+
+TEST_F(TbFixture, WriteBackStagesOnTierAndPfsStaysClean) {
+  TieredBufferConfig cfg;
+  TieredBuffer tb(sim, cfg);
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(produce(sim, app, tb, "/p/gpfs1/w/a", util::kMiB));
+  sim.engine().run();
+  EXPECT_TRUE(tb.is_staged(0, "/p/gpfs1/w/a"));
+  EXPECT_EQ(tb.staged_bytes(0), util::kMiB);
+  // Nothing on the PFS yet (write-back, not flushed).
+  EXPECT_FALSE(sim.pfs().ns({0, 0}).exists("/p/gpfs1/w/a"));
+}
+
+TEST_F(TbFixture, ReadAfterWriteIsATierHit) {
+  TieredBufferConfig cfg;
+  TieredBuffer tb(sim, cfg);
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a,
+                 TieredBuffer& buf) -> Task<void> {
+    co_await produce(s, a, buf, "/p/gpfs1/w/b", util::kMiB);
+    co_await consume(s, a, buf, "/p/gpfs1/w/b", util::kMiB);
+  };
+  sim.engine().spawn(prog(sim, app, tb));
+  sim.engine().run();
+  EXPECT_EQ(tb.hits(), 1u);
+  EXPECT_EQ(tb.misses(), 0u);
+  // The PFS never served a data byte.
+  EXPECT_EQ(sim.pfs().counters().bytes_read, 0u);
+}
+
+TEST_F(TbFixture, ColdReadIsAMiss) {
+  // Pre-create the file directly on the PFS.
+  const auto app = sim.tracer().register_app("t");
+  auto seed = [](Simulation& s, std::uint16_t a) -> Task<void> {
+    Proc p(s, a, 0, 0);
+    Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/cold", OpenMode::kWrite);
+    co_await posix.write(f, util::kMiB, 1);
+    co_await posix.close(f);
+  };
+  sim.engine().spawn(seed(sim, app));
+  sim.engine().run();
+
+  TieredBufferConfig cfg;
+  TieredBuffer tb(sim, cfg);
+  sim.engine().spawn(consume(sim, app, tb, "/p/gpfs1/cold", util::kMiB));
+  sim.engine().run();
+  EXPECT_EQ(tb.misses(), 1u);
+  EXPECT_EQ(tb.hits(), 0u);
+}
+
+TEST_F(TbFixture, FlushAllPersistsDirtyFiles) {
+  TieredBufferConfig cfg;
+  TieredBuffer tb(sim, cfg);
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a,
+                 TieredBuffer& buf) -> Task<void> {
+    co_await produce(s, a, buf, "/p/gpfs1/w/c", 2 * util::kMiB);
+    Proc p(s, a, 0, 0);
+    co_await buf.flush_all(p);
+  };
+  sim.engine().spawn(prog(sim, app, tb));
+  sim.engine().run();
+  auto& ns = sim.pfs().ns({0, 0});
+  auto id = ns.lookup("/p/gpfs1/w/c");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(ns.inode(*id).size, 2 * util::kMiB);
+}
+
+TEST_F(TbFixture, CapacityPressureEvictsAndFlushesDirtyVictims) {
+  TieredBufferConfig cfg;
+  cfg.capacity_per_node = 4 * util::kMiB;
+  TieredBuffer tb(sim, cfg);
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a,
+                 TieredBuffer& buf) -> Task<void> {
+    for (int i = 0; i < 6; ++i) {
+      co_await produce(s, a, buf, "/p/gpfs1/ev/" + std::to_string(i),
+                       util::kMiB);
+    }
+  };
+  sim.engine().spawn(prog(sim, app, tb));
+  sim.engine().run();
+  EXPECT_GE(tb.evictions(), 2u);
+  EXPECT_LE(tb.staged_bytes(0), cfg.capacity_per_node);
+  // Evicted dirty files were flushed to the PFS, not lost.
+  EXPECT_TRUE(sim.pfs().ns({0, 0}).exists("/p/gpfs1/ev/0"));
+}
+
+TEST_F(TbFixture, LruKeepsHotEntryFifoDoesNot) {
+  auto run_policy = [this](TieredBufferConfig::Eviction policy) {
+    TieredBufferConfig cfg;
+    cfg.capacity_per_node = 3 * util::kMiB;
+    cfg.eviction = policy;
+    TieredBuffer tb(sim, cfg);
+    const auto app = sim.tracer().register_app("t");
+    auto prog = [](Simulation& s, std::uint16_t a,
+                   TieredBuffer& buf) -> Task<void> {
+      co_await produce(s, a, buf, "/p/gpfs1/p/hot", util::kMiB);
+      co_await produce(s, a, buf, "/p/gpfs1/p/b", util::kMiB);
+      co_await produce(s, a, buf, "/p/gpfs1/p/c", util::kMiB);
+      // Touch "hot" so LRU ranks it newest while FIFO still ranks it
+      // oldest.
+      co_await consume(s, a, buf, "/p/gpfs1/p/hot", util::kMiB);
+      // One more file forces a single eviction.
+      co_await produce(s, a, buf, "/p/gpfs1/p/d", util::kMiB);
+    };
+    sim.engine().spawn(prog(sim, app, tb));
+    sim.engine().run();
+    return tb.is_staged(0, "/p/gpfs1/p/hot");
+  };
+  EXPECT_TRUE(run_policy(TieredBufferConfig::Eviction::kLru));
+  EXPECT_FALSE(run_policy(TieredBufferConfig::Eviction::kFifo));
+}
+
+TEST_F(TbFixture, OversizedFileFallsBackToPfs) {
+  TieredBufferConfig cfg;
+  cfg.capacity_per_node = util::kMiB;
+  TieredBuffer tb(sim, cfg);
+  const auto app = sim.tracer().register_app("t");
+  sim.engine().spawn(produce(sim, app, tb, "/p/gpfs1/big", 8 * util::kMiB));
+  sim.engine().run();
+  auto& ns = sim.pfs().ns({0, 0});
+  auto id = ns.lookup("/p/gpfs1/big");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(ns.inode(*id).size, 8 * util::kMiB);
+  EXPECT_LE(tb.staged_bytes(0), cfg.capacity_per_node);
+}
+
+TEST_F(TbFixture, UserLevelOpsAreTracedInternalTrafficIsNot) {
+  TieredBufferConfig cfg;
+  TieredBuffer tb(sim, cfg);
+  const auto app = sim.tracer().register_app("t");
+  auto prog = [](Simulation& s, std::uint16_t a,
+                 TieredBuffer& buf) -> Task<void> {
+    co_await produce(s, a, buf, "/p/gpfs1/tr", util::kMiB);
+    co_await consume(s, a, buf, "/p/gpfs1/tr", util::kMiB);
+    Proc p(s, a, 0, 0);
+    co_await buf.flush_all(p);
+  };
+  sim.engine().spawn(prog(sim, app, tb));
+  sim.engine().run();
+  EXPECT_EQ(testutil::count_ops(sim.tracer(),
+                                [](const trace::Record& r) {
+                                  return r.op == trace::Op::kWrite;
+                                }),
+            1u);
+  EXPECT_EQ(testutil::count_ops(sim.tracer(),
+                                [](const trace::Record& r) {
+                                  return r.op == trace::Op::kRead;
+                                }),
+            1u);
+}
+
+}  // namespace
+}  // namespace wasp::io

@@ -1,0 +1,135 @@
+// Trace persistence: Recorder-style binary logs round-trip, CSV export, and
+// malformed inputs fail loudly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/posix.hpp"
+#include "sim_test_util.hpp"
+#include "trace/log_io.hpp"
+#include "util/error.hpp"
+
+namespace wasp::trace {
+namespace {
+
+using runtime::Proc;
+using runtime::Simulation;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Produce a small but non-trivial trace.
+void populate(Simulation& sim) {
+  const auto app = sim.tracer().register_app("writer");
+  auto prog = [](Simulation& s, std::uint16_t a) -> sim::Task<void> {
+    Proc p(s, a, 3, 1);
+    io::Posix posix(p);
+    auto f = co_await posix.open("/p/gpfs1/log_t", io::OpenMode::kWrite);
+    co_await posix.write(f, 4096, 16);
+    co_await posix.close(f);
+    auto g = co_await posix.open("/dev/shm/local_t", io::OpenMode::kWrite);
+    co_await posix.write(g, 512, 2);
+    co_await posix.close(g);
+    co_await p.compute(5 * sim::kMs);
+  };
+  sim.engine().spawn(prog(sim, app));
+  sim.engine().run();
+}
+
+TEST(TraceLog, BinaryRoundTripPreservesEverything) {
+  Simulation sim(cluster::tiny(2));
+  populate(sim);
+  const std::string path = temp_path("roundtrip.wtrc");
+  write_log(path, sim.tracer());
+  const LogData data = read_log(path);
+
+  const auto& original = sim.tracer().records();
+  ASSERT_EQ(data.records.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Record& a = original[i];
+    const Record& b = data.records[i];
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.iface, b.iface);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.file, b.file);
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.tstart, b.tstart);
+    EXPECT_EQ(a.tend, b.tend);
+    EXPECT_EQ(data.paths[i], sim.tracer().path_of(a.file, a.node));
+  }
+  EXPECT_EQ(data.apps.size(), sim.tracer().num_apps());
+  std::remove(path.c_str());
+}
+
+TEST(TraceLog, SnapshotMatchesWriteRead) {
+  Simulation sim(cluster::tiny(2));
+  populate(sim);
+  const LogData snap = snapshot(sim.tracer());
+  EXPECT_EQ(snap.records.size(), sim.tracer().records().size());
+  EXPECT_EQ(snap.fs_names.size(), sim.tracer().num_filesystems());
+  // Node-local path resolves through the record's node.
+  bool found_local = false;
+  for (const auto& p : snap.paths) {
+    if (p == "/dev/shm/local_t") found_local = true;
+  }
+  EXPECT_TRUE(found_local);
+}
+
+TEST(TraceLog, CsvHasHeaderAndOneLinePerRecord) {
+  Simulation sim(cluster::tiny(2));
+  populate(sim);
+  std::ostringstream os;
+  write_csv(os, sim.tracer());
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("app,rank,node,iface,op,path"), 0u);
+  std::size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, sim.tracer().records().size() + 1);
+  EXPECT_NE(out.find("/p/gpfs1/log_t"), std::string::npos);
+}
+
+TEST(TraceLog, RejectsGarbageFile) {
+  const std::string path = temp_path("garbage.wtrc");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a trace log at all";
+  }
+  EXPECT_THROW(read_log(path), util::SimError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLog, RejectsTruncatedFile) {
+  Simulation sim(cluster::tiny(2));
+  populate(sim);
+  const std::string path = temp_path("trunc.wtrc");
+  write_log(path, sim.tracer());
+  // Truncate to half.
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string content = buf.str();
+  is.close();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(content.data(),
+             static_cast<std::streamsize>(content.size() / 2));
+  }
+  EXPECT_THROW(read_log(path), util::SimError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLog, MissingFileThrows) {
+  EXPECT_THROW(read_log("/nonexistent/dir/x.wtrc"), util::SimError);
+}
+
+}  // namespace
+}  // namespace wasp::trace

@@ -1,0 +1,107 @@
+// wasp_analyze — the offline Vani Analyzer: read a Recorder-style trace log
+// produced by wasp_run (or trace::write_log) and print the workload profile
+// summary; optionally emit figure-style panels.
+//
+//   wasp_analyze <trace.wtrc> [--phases] [--files N] [--hist]
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/analyzer.hpp"
+#include "trace/log_io.hpp"
+#include "util/table.hpp"
+
+using namespace wasp;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: wasp_analyze <trace.wtrc> [--phases] [--files N]"
+                 " [--hist]\n";
+    return 2;
+  }
+  bool show_phases = false;
+  bool show_hist = false;
+  std::size_t show_files = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--phases") {
+      show_phases = true;
+    } else if (arg == "--hist") {
+      show_hist = true;
+    } else if (arg == "--files" && i + 1 < argc) {
+      show_files = static_cast<std::size_t>(std::stoul(argv[++i]));
+    }
+  }
+
+  const auto log = trace::read_log(argv[1]);
+  std::cerr << "loaded " << log.records.size() << " records, "
+            << log.apps.size() << " apps\n";
+
+  analysis::Analyzer analyzer;
+  const auto profile = analyzer.analyze(log);
+
+  std::cout << "job runtime:   " << util::format_seconds(profile.job_runtime_sec)
+            << "\nI/O time:      "
+            << util::format_percent(profile.io_time_fraction) << " of runtime"
+            << "\nread:          " << util::format_bytes(profile.totals.read_bytes)
+            << " in " << profile.totals.read_ops << " ops"
+            << "\nwrite:         "
+            << util::format_bytes(profile.totals.write_bytes) << " in "
+            << profile.totals.write_ops << " ops"
+            << "\nmetadata ops:  " << profile.totals.meta_ops << " ("
+            << util::format_percent(profile.totals.meta_time_fraction())
+            << " of I/O time)"
+            << "\nfiles:         " << profile.files.size() << " ("
+            << profile.shared_files << " shared, " << profile.fpp_files
+            << " FPP)"
+            << "\naccess:        "
+            << (profile.sequential_fraction >= 0.8 ? "sequential" : "mixed")
+            << "\n\n";
+
+  util::TablePrinter apps("per-application");
+  apps.set_header({"app", "procs", "I/O", "data ops", "meta ops", "iface",
+                   "runtime"});
+  for (const auto& a : profile.apps) {
+    apps.add_row({a.name, std::to_string(a.num_procs),
+                  util::format_bytes(a.ops.io_bytes()),
+                  std::to_string(a.ops.data_ops()),
+                  std::to_string(a.ops.meta_ops),
+                  trace::to_string(a.interface),
+                  util::format_seconds(a.runtime_sec())});
+  }
+  apps.print(std::cout);
+
+  if (show_phases) {
+    std::cout << "\nI/O phases:\n";
+    for (const auto& ph : profile.phases) {
+      std::cout << "  [" << util::format_seconds(sim::to_seconds(ph.t0))
+                << " .. " << util::format_seconds(sim::to_seconds(ph.t1))
+                << "] app=" << profile.app_name(ph.app) << " "
+                << util::format_bytes(ph.ops.io_bytes()) << " "
+                << ph.frequency_label() << "\n";
+    }
+  }
+  if (show_files > 0) {
+    std::vector<const analysis::FileStats*> files;
+    for (const auto& f : profile.files) files.push_back(&f);
+    std::sort(files.begin(), files.end(),
+              [](const analysis::FileStats* a, const analysis::FileStats* b) {
+                return a->ops.io_bytes() > b->ops.io_bytes();
+              });
+    std::cout << "\ntop files by I/O volume:\n";
+    for (std::size_t i = 0; i < std::min(show_files, files.size()); ++i) {
+      std::cout << "  " << files[i]->path << "  "
+                << util::format_bytes(files[i]->ops.io_bytes()) << "  ("
+                << files[i]->reader_ranks << "r/" << files[i]->writer_ranks
+                << "w)\n";
+    }
+  }
+  if (show_hist) {
+    std::cout << "\nrequest-size histogram (reads | writes):\n";
+    for (std::size_t b = 0; b < profile.read_hist.num_buckets(); ++b) {
+      std::cout << "  " << profile.read_hist.bucket_label(b) << ": "
+                << profile.read_hist.count(b) << " | "
+                << profile.write_hist.count(b) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// wasp_run — run an exemplar workload on the simulated cluster, write its
+// Recorder-style trace log, characterization YAML, and advisor report.
+//
+//   wasp_run <workload> [--nodes N] [--optimized] [--trace out.wtrc]
+//            [--yaml out.yaml] [--csv out.csv] [--test-scale]
+//
+// <workload> is one of: cm1 hacc cosmoflow jag montage-mpi montage-pegasus
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "advisor/rules.hpp"
+#include "trace/log_io.hpp"
+#include "workloads/registry.hpp"
+
+using namespace wasp;
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: wasp_run <workload> [options]\n"
+         "  workloads: cm1 | hacc | cosmoflow | jag | montage-mpi |"
+         " montage-pegasus\n"
+         "  --nodes N       cluster size (default 32)\n"
+         "  --optimized     apply the advisor's recommendations and re-run\n"
+         "  --test-scale    use the reduced test-scale parameters\n"
+         "  --trace FILE    write the Recorder-style binary trace log\n"
+         "  --csv FILE      write the trace as CSV\n"
+         "  --yaml FILE     write the characterization YAML"
+         " (default: stdout)\n";
+}
+
+const std::map<std::string, std::size_t> kNames = {
+    {"cm1", 0},        {"hacc", 1},        {"cosmoflow", 2},
+    {"jag", 3},        {"montage-mpi", 4}, {"montage-pegasus", 5},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string name = argv[1];
+  auto it = kNames.find(name);
+  if (it == kNames.end()) {
+    std::cerr << "unknown workload: " << name << "\n";
+    usage();
+    return 2;
+  }
+
+  int nodes = 32;
+  bool optimized = false;
+  bool test_scale = false;
+  std::string trace_out;
+  std::string csv_out;
+  std::string yaml_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      nodes = std::stoi(next());
+    } else if (arg == "--optimized") {
+      optimized = true;
+    } else if (arg == "--test-scale") {
+      test_scale = true;
+    } else if (arg == "--trace") {
+      trace_out = next();
+    } else if (arg == "--csv") {
+      csv_out = next();
+    } else if (arg == "--yaml") {
+      yaml_out = next();
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  const auto entry = workloads::paper_workloads()[it->second];
+  auto workload = test_scale ? entry.make_test() : entry.make_paper();
+
+  std::cerr << "running " << entry.name << " on " << nodes << " nodes...\n";
+  runtime::Simulation sim(cluster::lassen(nodes));
+  auto out = workloads::run_with(sim, workload, advisor::RunConfig{},
+                                 analysis::Analyzer::Options{});
+
+  if (optimized) {
+    std::cerr << "advisor:\n"
+              << advisor::RuleEngine::report(out.recommendations);
+    auto cfg = advisor::RuleEngine::configure(out.recommendations);
+    std::cerr << "re-running optimized...\n";
+    runtime::Simulation sim2(cluster::lassen(nodes));
+    auto opt = workloads::run_with(sim2, workload, cfg,
+                                   analysis::Analyzer::Options{});
+    std::cerr << "baseline  I/O time: "
+              << util::format_seconds(out.profile.io_time_fraction *
+                                      out.job_seconds)
+              << "\noptimized I/O time: "
+              << util::format_seconds(opt.profile.io_time_fraction *
+                                      opt.job_seconds)
+              << "\n";
+    if (!trace_out.empty()) trace::write_log(trace_out, sim2.tracer());
+    if (!csv_out.empty()) {
+      std::ofstream os(csv_out);
+      trace::write_csv(os, sim2.tracer());
+    }
+    out = std::move(opt);
+  } else {
+    if (!trace_out.empty()) trace::write_log(trace_out, sim.tracer());
+    if (!csv_out.empty()) {
+      std::ofstream os(csv_out);
+      trace::write_csv(os, sim.tracer());
+    }
+  }
+
+  std::cerr << "job " << util::format_seconds(out.job_seconds) << ", "
+            << util::format_bytes(out.profile.totals.io_bytes()) << " I/O, "
+            << out.profile.files.size() << " files\n";
+
+  const std::string yaml = out.characterization.to_yaml();
+  if (yaml_out.empty()) {
+    std::cout << yaml;
+  } else {
+    std::ofstream os(yaml_out);
+    os << yaml;
+    std::cerr << "characterization written to " << yaml_out << "\n";
+  }
+  return 0;
+}
