@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_checkpoint.dir/ablation_async_checkpoint.cpp.o"
+  "CMakeFiles/ablation_async_checkpoint.dir/ablation_async_checkpoint.cpp.o.d"
+  "ablation_async_checkpoint"
+  "ablation_async_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

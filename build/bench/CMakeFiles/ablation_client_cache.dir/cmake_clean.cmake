@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_client_cache.dir/ablation_client_cache.cpp.o"
+  "CMakeFiles/ablation_client_cache.dir/ablation_client_cache.cpp.o.d"
+  "ablation_client_cache"
+  "ablation_client_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_client_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

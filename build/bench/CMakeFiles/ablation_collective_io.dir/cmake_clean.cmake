@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collective_io.dir/ablation_collective_io.cpp.o"
+  "CMakeFiles/ablation_collective_io.dir/ablation_collective_io.cpp.o.d"
+  "ablation_collective_io"
+  "ablation_collective_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collective_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hdf5_chunking.dir/ablation_hdf5_chunking.cpp.o"
+  "CMakeFiles/ablation_hdf5_chunking.dir/ablation_hdf5_chunking.cpp.o.d"
+  "ablation_hdf5_chunking"
+  "ablation_hdf5_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hdf5_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

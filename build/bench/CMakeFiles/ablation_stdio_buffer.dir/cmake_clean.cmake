@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stdio_buffer.dir/ablation_stdio_buffer.cpp.o"
+  "CMakeFiles/ablation_stdio_buffer.dir/ablation_stdio_buffer.cpp.o.d"
+  "ablation_stdio_buffer"
+  "ablation_stdio_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stdio_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

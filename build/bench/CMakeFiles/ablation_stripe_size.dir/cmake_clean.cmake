@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripe_size.dir/ablation_stripe_size.cpp.o"
+  "CMakeFiles/ablation_stripe_size.dir/ablation_stripe_size.cpp.o.d"
+  "ablation_stripe_size"
+  "ablation_stripe_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripe_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

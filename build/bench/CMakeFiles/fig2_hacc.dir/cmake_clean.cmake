@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hacc.dir/fig2_hacc.cpp.o"
+  "CMakeFiles/fig2_hacc.dir/fig2_hacc.cpp.o.d"
+  "fig2_hacc"
+  "fig2_hacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cosmoflow.dir/fig3_cosmoflow.cpp.o"
+  "CMakeFiles/fig3_cosmoflow.dir/fig3_cosmoflow.cpp.o.d"
+  "fig3_cosmoflow"
+  "fig3_cosmoflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cosmoflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

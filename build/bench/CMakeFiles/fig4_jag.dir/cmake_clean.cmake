@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_jag.dir/fig4_jag.cpp.o"
+  "CMakeFiles/fig4_jag.dir/fig4_jag.cpp.o.d"
+  "fig4_jag"
+  "fig4_jag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_jag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

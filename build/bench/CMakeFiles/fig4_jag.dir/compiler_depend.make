@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_jag.
+# This may be replaced when dependencies are built.

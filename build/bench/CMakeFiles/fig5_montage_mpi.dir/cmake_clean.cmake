@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_montage_mpi.dir/fig5_montage_mpi.cpp.o"
+  "CMakeFiles/fig5_montage_mpi.dir/fig5_montage_mpi.cpp.o.d"
+  "fig5_montage_mpi"
+  "fig5_montage_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_montage_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_montage_pegasus.dir/fig6_montage_pegasus.cpp.o"
+  "CMakeFiles/fig6_montage_pegasus.dir/fig6_montage_pegasus.cpp.o.d"
+  "fig6_montage_pegasus"
+  "fig6_montage_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_montage_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cosmoflow_opt.dir/fig7_cosmoflow_opt.cpp.o"
+  "CMakeFiles/fig7_cosmoflow_opt.dir/fig7_cosmoflow_opt.cpp.o.d"
+  "fig7_cosmoflow_opt"
+  "fig7_cosmoflow_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cosmoflow_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_montage_opt.dir/fig8_montage_opt.cpp.o"
+  "CMakeFiles/fig8_montage_opt.dir/fig8_montage_opt.cpp.o.d"
+  "fig8_montage_opt"
+  "fig8_montage_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_montage_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_analyzer.dir/micro_analyzer.cpp.o"
+  "CMakeFiles/micro_analyzer.dir/micro_analyzer.cpp.o.d"
+  "micro_analyzer"
+  "micro_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fs_io.dir/micro_fs_io.cpp.o"
+  "CMakeFiles/micro_fs_io.dir/micro_fs_io.cpp.o.d"
+  "micro_fs_io"
+  "micro_fs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_engine.dir/micro_sim_engine.cpp.o"
+  "CMakeFiles/micro_sim_engine.dir/micro_sim_engine.cpp.o.d"
+  "micro_sim_engine"
+  "micro_sim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

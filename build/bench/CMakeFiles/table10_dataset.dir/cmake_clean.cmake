@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_dataset.dir/table10_dataset.cpp.o"
+  "CMakeFiles/table10_dataset.dir/table10_dataset.cpp.o.d"
+  "table10_dataset"
+  "table10_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_file.dir/table11_file.cpp.o"
+  "CMakeFiles/table11_file.dir/table11_file.cpp.o.d"
+  "table11_file"
+  "table11_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_job_config.dir/table2_job_config.cpp.o"
+  "CMakeFiles/table2_job_config.dir/table2_job_config.cpp.o.d"
+  "table2_job_config"
+  "table2_job_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_job_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_workflow.dir/table3_workflow.cpp.o"
+  "CMakeFiles/table3_workflow.dir/table3_workflow.cpp.o.d"
+  "table3_workflow"
+  "table3_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_application.dir/table4_application.cpp.o"
+  "CMakeFiles/table4_application.dir/table4_application.cpp.o.d"
+  "table4_application"
+  "table4_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

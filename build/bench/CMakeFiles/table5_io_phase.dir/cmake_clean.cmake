@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_io_phase.dir/table5_io_phase.cpp.o"
+  "CMakeFiles/table5_io_phase.dir/table5_io_phase.cpp.o.d"
+  "table5_io_phase"
+  "table5_io_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_io_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_highlevel_io.dir/table6_highlevel_io.cpp.o"
+  "CMakeFiles/table6_highlevel_io.dir/table6_highlevel_io.cpp.o.d"
+  "table6_highlevel_io"
+  "table6_highlevel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_highlevel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

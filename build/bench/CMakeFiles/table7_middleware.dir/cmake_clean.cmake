@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_middleware.dir/table7_middleware.cpp.o"
+  "CMakeFiles/table7_middleware.dir/table7_middleware.cpp.o.d"
+  "table7_middleware"
+  "table7_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_node_local.dir/table8_node_local.cpp.o"
+  "CMakeFiles/table8_node_local.dir/table8_node_local.cpp.o.d"
+  "table8_node_local"
+  "table8_node_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_node_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

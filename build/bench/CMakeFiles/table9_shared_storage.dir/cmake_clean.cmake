@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_shared_storage.dir/table9_shared_storage.cpp.o"
+  "CMakeFiles/table9_shared_storage.dir/table9_shared_storage.cpp.o.d"
+  "table9_shared_storage"
+  "table9_shared_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_shared_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ai_training.dir/ai_training.cpp.o"
+  "CMakeFiles/example_ai_training.dir/ai_training.cpp.o.d"
+  "example_ai_training"
+  "example_ai_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ai_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_middleware_stack.dir/middleware_stack.cpp.o"
+  "CMakeFiles/example_middleware_stack.dir/middleware_stack.cpp.o.d"
+  "example_middleware_stack"
+  "example_middleware_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_middleware_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_montage_workflow.dir/montage_workflow.cpp.o"
+  "CMakeFiles/example_montage_workflow.dir/montage_workflow.cpp.o.d"
+  "example_montage_workflow"
+  "example_montage_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_montage_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

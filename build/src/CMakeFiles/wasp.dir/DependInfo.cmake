@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/rules.cpp" "src/CMakeFiles/wasp.dir/advisor/rules.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/advisor/rules.cpp.o.d"
+  "/root/repo/src/analysis/analyzer.cpp" "src/CMakeFiles/wasp.dir/analysis/analyzer.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/analysis/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/column_store.cpp" "src/CMakeFiles/wasp.dir/analysis/column_store.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/analysis/column_store.cpp.o.d"
+  "/root/repo/src/cluster/spec.cpp" "src/CMakeFiles/wasp.dir/cluster/spec.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/cluster/spec.cpp.o.d"
+  "/root/repo/src/core/characterizer.cpp" "src/CMakeFiles/wasp.dir/core/characterizer.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/core/characterizer.cpp.o.d"
+  "/root/repo/src/core/entities.cpp" "src/CMakeFiles/wasp.dir/core/entities.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/core/entities.cpp.o.d"
+  "/root/repo/src/core/yaml_loader.cpp" "src/CMakeFiles/wasp.dir/core/yaml_loader.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/core/yaml_loader.cpp.o.d"
+  "/root/repo/src/fs/burst_buffer.cpp" "src/CMakeFiles/wasp.dir/fs/burst_buffer.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/fs/burst_buffer.cpp.o.d"
+  "/root/repo/src/fs/mount_table.cpp" "src/CMakeFiles/wasp.dir/fs/mount_table.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/fs/mount_table.cpp.o.d"
+  "/root/repo/src/fs/namespace.cpp" "src/CMakeFiles/wasp.dir/fs/namespace.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/fs/namespace.cpp.o.d"
+  "/root/repo/src/fs/node_local.cpp" "src/CMakeFiles/wasp.dir/fs/node_local.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/fs/node_local.cpp.o.d"
+  "/root/repo/src/fs/pfs.cpp" "src/CMakeFiles/wasp.dir/fs/pfs.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/fs/pfs.cpp.o.d"
+  "/root/repo/src/fs/types.cpp" "src/CMakeFiles/wasp.dir/fs/types.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/fs/types.cpp.o.d"
+  "/root/repo/src/io/compression.cpp" "src/CMakeFiles/wasp.dir/io/compression.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/io/compression.cpp.o.d"
+  "/root/repo/src/io/hdf5.cpp" "src/CMakeFiles/wasp.dir/io/hdf5.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/io/hdf5.cpp.o.d"
+  "/root/repo/src/io/mpiio.cpp" "src/CMakeFiles/wasp.dir/io/mpiio.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/io/mpiio.cpp.o.d"
+  "/root/repo/src/io/posix.cpp" "src/CMakeFiles/wasp.dir/io/posix.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/io/posix.cpp.o.d"
+  "/root/repo/src/io/stdio.cpp" "src/CMakeFiles/wasp.dir/io/stdio.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/io/stdio.cpp.o.d"
+  "/root/repo/src/io/tiered_buffer.cpp" "src/CMakeFiles/wasp.dir/io/tiered_buffer.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/io/tiered_buffer.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/wasp.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/runtime/proc.cpp" "src/CMakeFiles/wasp.dir/runtime/proc.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/runtime/proc.cpp.o.d"
+  "/root/repo/src/runtime/simulation.cpp" "src/CMakeFiles/wasp.dir/runtime/simulation.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/runtime/simulation.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/wasp.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/wasp.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/sim/link.cpp.o.d"
+  "/root/repo/src/trace/log_io.cpp" "src/CMakeFiles/wasp.dir/trace/log_io.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/trace/log_io.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/wasp.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/trace/record.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/wasp.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/trace/tracer.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/wasp.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/wasp.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/parse.cpp" "src/CMakeFiles/wasp.dir/util/parse.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/parse.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/wasp.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/wasp.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/wasp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/wasp.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/units.cpp.o.d"
+  "/root/repo/src/util/yaml.cpp" "src/CMakeFiles/wasp.dir/util/yaml.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/yaml.cpp.o.d"
+  "/root/repo/src/util/yaml_reader.cpp" "src/CMakeFiles/wasp.dir/util/yaml_reader.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/util/yaml_reader.cpp.o.d"
+  "/root/repo/src/workflow/dag.cpp" "src/CMakeFiles/wasp.dir/workflow/dag.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workflow/dag.cpp.o.d"
+  "/root/repo/src/workloads/cm1.cpp" "src/CMakeFiles/wasp.dir/workloads/cm1.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/cm1.cpp.o.d"
+  "/root/repo/src/workloads/cosmoflow.cpp" "src/CMakeFiles/wasp.dir/workloads/cosmoflow.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/cosmoflow.cpp.o.d"
+  "/root/repo/src/workloads/hacc.cpp" "src/CMakeFiles/wasp.dir/workloads/hacc.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/hacc.cpp.o.d"
+  "/root/repo/src/workloads/ior.cpp" "src/CMakeFiles/wasp.dir/workloads/ior.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/ior.cpp.o.d"
+  "/root/repo/src/workloads/jag.cpp" "src/CMakeFiles/wasp.dir/workloads/jag.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/jag.cpp.o.d"
+  "/root/repo/src/workloads/montage_mpi.cpp" "src/CMakeFiles/wasp.dir/workloads/montage_mpi.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/montage_mpi.cpp.o.d"
+  "/root/repo/src/workloads/montage_pegasus.cpp" "src/CMakeFiles/wasp.dir/workloads/montage_pegasus.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/montage_pegasus.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/wasp.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/wasp.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

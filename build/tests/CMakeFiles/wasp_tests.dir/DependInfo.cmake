@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_advisor.cpp" "tests/CMakeFiles/wasp_tests.dir/test_advisor.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_advisor.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/wasp_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_burst_buffer.cpp" "tests/CMakeFiles/wasp_tests.dir/test_burst_buffer.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_burst_buffer.cpp.o.d"
+  "/root/repo/tests/test_characterizer.cpp" "tests/CMakeFiles/wasp_tests.dir/test_characterizer.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_characterizer.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/wasp_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_compression.cpp" "tests/CMakeFiles/wasp_tests.dir/test_compression.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_compression.cpp.o.d"
+  "/root/repo/tests/test_fs.cpp" "tests/CMakeFiles/wasp_tests.dir/test_fs.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_fs.cpp.o.d"
+  "/root/repo/tests/test_io_layers.cpp" "tests/CMakeFiles/wasp_tests.dir/test_io_layers.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_io_layers.cpp.o.d"
+  "/root/repo/tests/test_mpi.cpp" "tests/CMakeFiles/wasp_tests.dir/test_mpi.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_mpi.cpp.o.d"
+  "/root/repo/tests/test_offline_analysis.cpp" "tests/CMakeFiles/wasp_tests.dir/test_offline_analysis.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_offline_analysis.cpp.o.d"
+  "/root/repo/tests/test_paper_scale.cpp" "tests/CMakeFiles/wasp_tests.dir/test_paper_scale.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_paper_scale.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/wasp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/wasp_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_sim_extra.cpp" "tests/CMakeFiles/wasp_tests.dir/test_sim_extra.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_sim_extra.cpp.o.d"
+  "/root/repo/tests/test_tiered_buffer.cpp" "tests/CMakeFiles/wasp_tests.dir/test_tiered_buffer.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_tiered_buffer.cpp.o.d"
+  "/root/repo/tests/test_trace_log.cpp" "tests/CMakeFiles/wasp_tests.dir/test_trace_log.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_trace_log.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/wasp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workflow.cpp" "tests/CMakeFiles/wasp_tests.dir/test_workflow.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_workflow.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/wasp_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_yaml_loader.cpp" "tests/CMakeFiles/wasp_tests.dir/test_yaml_loader.cpp.o" "gcc" "tests/CMakeFiles/wasp_tests.dir/test_yaml_loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wasp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

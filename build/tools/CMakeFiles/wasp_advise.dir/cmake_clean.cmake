@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_advise.dir/wasp_advise.cpp.o"
+  "CMakeFiles/wasp_advise.dir/wasp_advise.cpp.o.d"
+  "wasp_advise"
+  "wasp_advise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_advise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_analyze.dir/wasp_analyze.cpp.o"
+  "CMakeFiles/wasp_analyze.dir/wasp_analyze.cpp.o.d"
+  "wasp_analyze"
+  "wasp_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

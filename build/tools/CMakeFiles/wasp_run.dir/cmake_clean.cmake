@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_run.dir/wasp_run.cpp.o"
+  "CMakeFiles/wasp_run.dir/wasp_run.cpp.o.d"
+  "wasp_run"
+  "wasp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
