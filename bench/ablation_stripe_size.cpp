@@ -3,10 +3,14 @@
 // stream can drive in parallel; under full-job contention the aggregate
 // capacity dominates and striping stops mattering — which is why the
 // advisor's stripe rule keys on per-file granularity, not on job scale.
+// Each (stripe size, stripe count) cell is an independent simulation, fanned
+// out over --jobs workers by the ScenarioRunner.
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "io/posix.hpp"
+#include "runtime/scenario_runner.hpp"
 #include "util/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -26,28 +30,45 @@ sim::Task<void> lone_writer(runtime::Simulation& sim, std::uint16_t app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = benchutil::init_jobs(argc, argv);
   util::TablePrinter table(
       "Ablation — striping for a single 4GiB writer (64MiB transfers)");
   table.set_header({"stripe size", "stripe count", "write time",
                     "effective bw"});
 
   const util::Bytes total = 4 * util::kGiB;
+  struct Cell {
+    util::Bytes stripe;
+    int count;
+  };
+  std::vector<Cell> cells;
   for (util::Bytes stripe : {util::kMiB, 16 * util::kMiB}) {
-    for (int count : {1, 2, 4, 8}) {
+    for (int count : {1, 2, 4, 8}) cells.push_back({stripe, count});
+  }
+
+  std::vector<std::function<double()>> scenarios;
+  for (const Cell& cell : cells) {
+    scenarios.push_back([cell, total]() {
       auto spec = cluster::lassen(4);
-      spec.pfs.stripe_size = stripe;
-      spec.pfs.stripe_count = count;
+      spec.pfs.stripe_size = cell.stripe;
+      spec.pfs.stripe_count = cell.count;
       runtime::Simulation sim(spec);
       const auto app = sim.tracer().register_app("w");
       sim.engine().spawn(lone_writer(sim, app, total, 64 * util::kMiB));
       sim.engine().run();
-      const double sec = sim::to_seconds(sim.engine().now());
-      char t[32];
-      std::snprintf(t, sizeof(t), "%.2fs", sec);
-      table.add_row({util::format_bytes(stripe), std::to_string(count), t,
-                     util::format_rate(static_cast<double>(total) / sec)});
-    }
+      return sim::to_seconds(sim.engine().now());
+    });
+  }
+  const auto seconds = runtime::ScenarioRunner(jobs).run<double>(scenarios);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    char t[32];
+    std::snprintf(t, sizeof(t), "%.2fs", seconds[i]);
+    table.add_row({util::format_bytes(cells[i].stripe),
+                   std::to_string(cells[i].count), t,
+                   util::format_rate(static_cast<double>(total) /
+                                     seconds[i])});
   }
   table.print(std::cout);
   return 0;

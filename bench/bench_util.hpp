@@ -1,29 +1,54 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "runtime/scenario_runner.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
 
 namespace wasp::benchutil {
+
+/// Parse the shared bench flags (`--jobs N`) and install the result as the
+/// process-wide default parallelism (the WASP_JOBS environment variable is
+/// the fallback). Every ScenarioRunner / Analyzer constructed with jobs=0
+/// picks this up. Returns the resolved job count.
+inline int init_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      const int jobs = std::atoi(argv[i + 1]);
+      if (jobs > 0) util::set_default_jobs(jobs);
+    }
+  }
+  return util::default_jobs();
+}
 
 struct NamedRun {
   std::string name;
   workloads::RunOutput out;
 };
 
-/// Run all six exemplar workloads at paper scale (32 nodes) and return the
-/// outputs in the paper's column order.
+/// Run all six exemplar workloads at paper scale (32 nodes) concurrently
+/// (up to util::default_jobs() at a time) and return the outputs in the
+/// paper's column order.
 inline std::vector<NamedRun> run_all_paper() {
-  std::vector<NamedRun> runs;
+  std::vector<workloads::Scenario> scenarios;
   for (const auto& e : workloads::paper_workloads()) {
-    std::cerr << "running " << e.name << "...\n";
-    runs.push_back({e.name, workloads::run(cluster::lassen(32),
-                                           e.make_paper())});
+    scenarios.push_back({e.name, cluster::lassen(32), e.make_paper,
+                         advisor::RunConfig{}, analysis::Analyzer::Options{}});
+  }
+  std::cerr << "running " << scenarios.size() << " workloads ("
+            << util::default_jobs() << " jobs)...\n";
+  auto outs = workloads::run_many(scenarios);
+  std::vector<NamedRun> runs;
+  runs.reserve(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    runs.push_back({scenarios[i].name, std::move(outs[i])});
   }
   return runs;
 }

@@ -1,0 +1,249 @@
+// run_all — the perf-trajectory driver. Times the table/figure reproduction
+// pipeline (per-workload simulation + analysis throughput) and the
+// multi-scenario sweeps at jobs=1 vs jobs=N, then emits BENCH_results.json
+// so every PR from here on records where the wall-clock went.
+//
+//   run_all [--jobs N] [--scale test|paper] [--out FILE]
+//
+// --scale test (default) uses the reduced test parameters so the driver
+// finishes in seconds anywhere; --scale paper runs the full Table I scale.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "advisor/rules.hpp"
+#include "bench_util.hpp"
+#include "workloads/cosmoflow.hpp"
+#include "workloads/montage_mpi.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace wasp;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_sec(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct WorkloadMetrics {
+  std::string name;
+  double sim_seconds = 0.0;
+  double analyze_seconds = 0.0;
+  std::uint64_t engine_events = 0;
+  std::uint64_t trace_rows = 0;
+  double events_per_sec = 0.0;
+  double analyzer_rows_per_sec = 0.0;
+};
+
+struct SweepMetrics {
+  std::string name;
+  std::size_t scenarios = 0;
+  double jobs1_seconds = 0.0;
+  double jobsN_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+/// The run_with() pipeline with a stopwatch between the simulate and
+/// analyze halves (RunOutput has no timing split).
+WorkloadMetrics measure_workload(const std::string& name,
+                                 const cluster::ClusterSpec& spec,
+                                 const workloads::Workload& workload) {
+  WorkloadMetrics m;
+  m.name = name;
+  runtime::Simulation sim(spec);
+
+  auto t0 = Clock::now();
+  if (workload.setup) {
+    sim.tracer().set_enabled(false);
+    sim.engine().spawn(workload.setup(sim));
+    sim.engine().run();
+    sim.tracer().set_enabled(true);
+    sim.pfs().drop_client_caches();
+  }
+  workload.launch(sim, advisor::RunConfig{});
+  sim.engine().run();
+  m.sim_seconds = elapsed_sec(t0);
+  m.engine_events = sim.engine().events_processed();
+  m.trace_rows = sim.tracer().records().size();
+
+  t0 = Clock::now();
+  analysis::Analyzer analyzer;
+  const auto profile = analyzer.analyze(sim.tracer());
+  m.analyze_seconds = elapsed_sec(t0);
+  (void)profile;
+
+  if (m.sim_seconds > 0) {
+    m.events_per_sec =
+        static_cast<double>(m.engine_events) / m.sim_seconds;
+  }
+  if (m.analyze_seconds > 0) {
+    m.analyzer_rows_per_sec =
+        static_cast<double>(m.trace_rows) / m.analyze_seconds;
+  }
+  return m;
+}
+
+std::vector<workloads::Scenario> cosmoflow_sweep(bool paper_scale) {
+  std::vector<workloads::Scenario> scenarios;
+  const std::vector<int> node_counts =
+      paper_scale ? std::vector<int>{32, 64, 128, 256}
+                  : std::vector<int>{2, 4, 8, 16};
+  for (int nodes : node_counts) {
+    workloads::CosmoflowParams P = paper_scale
+                                       ? workloads::CosmoflowParams::paper()
+                                       : workloads::CosmoflowParams::test();
+    P.nodes = nodes;
+    scenarios.push_back({"cosmoflow-" + std::to_string(nodes),
+                         cluster::lassen(nodes),
+                         [P] { return workloads::make_cosmoflow(P); },
+                         advisor::RunConfig{},
+                         analysis::Analyzer::Options{}});
+  }
+  return scenarios;
+}
+
+std::vector<workloads::Scenario> montage_sweep(bool paper_scale) {
+  std::vector<workloads::Scenario> scenarios;
+  const std::vector<int> node_counts =
+      paper_scale ? std::vector<int>{32, 64, 128, 256}
+                  : std::vector<int>{2, 4, 8, 16};
+  for (int nodes : node_counts) {
+    workloads::MontageMpiParams P =
+        paper_scale ? workloads::MontageMpiParams::paper()
+                    : workloads::MontageMpiParams::test();
+    if (paper_scale) {
+      P.projected_per_node = P.projected_per_node * 32 / nodes;
+      P.mosaic_per_node = P.mosaic_per_node * 32 / nodes;
+      P.png_per_node = P.png_per_node * 32 / nodes;
+    }
+    P.nodes = nodes;
+    scenarios.push_back({"montage-" + std::to_string(nodes),
+                         cluster::lassen(nodes),
+                         [P] { return workloads::make_montage_mpi(P); },
+                         advisor::RunConfig{},
+                         analysis::Analyzer::Options{}});
+  }
+  return scenarios;
+}
+
+std::vector<workloads::Scenario> stripe_sweep() {
+  // Mirrors ablation_stripe_size's grid via an IOR-style single writer —
+  // here the point is timing the fan-out, so reuse the registry workloads.
+  std::vector<workloads::Scenario> scenarios;
+  for (int count : {1, 2, 4, 8}) {
+    auto spec = cluster::lassen(4);
+    spec.pfs.stripe_count = count;
+    scenarios.push_back({"stripe-" + std::to_string(count), spec,
+                         [] {
+                           return workloads::make_montage_mpi(
+                               workloads::MontageMpiParams::test());
+                         },
+                         advisor::RunConfig{},
+                         analysis::Analyzer::Options{}});
+  }
+  return scenarios;
+}
+
+SweepMetrics measure_sweep(const std::string& name,
+                           const std::vector<workloads::Scenario>& scenarios,
+                           int jobs) {
+  SweepMetrics m;
+  m.name = name;
+  m.scenarios = scenarios.size();
+  auto t0 = Clock::now();
+  (void)workloads::run_many(scenarios, 1);
+  m.jobs1_seconds = elapsed_sec(t0);
+  t0 = Clock::now();
+  (void)workloads::run_many(scenarios, jobs);
+  m.jobsN_seconds = elapsed_sec(t0);
+  m.speedup = m.jobsN_seconds > 0 ? m.jobs1_seconds / m.jobsN_seconds : 0.0;
+  return m;
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = benchutil::init_jobs(argc, argv);
+  bool paper_scale = false;
+  std::string out_path = "BENCH_results.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      paper_scale = std::string(argv[++i]) == "paper";
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  std::cerr << "run_all: scale=" << (paper_scale ? "paper" : "test")
+            << " jobs=" << jobs << "\n";
+
+  std::vector<WorkloadMetrics> workload_metrics;
+  for (const auto& e : workloads::paper_workloads()) {
+    std::cerr << "  pipeline: " << e.name << "\n";
+    const auto workload = paper_scale ? e.make_paper() : e.make_test();
+    const auto spec = cluster::lassen(paper_scale ? 32 : 4);
+    workload_metrics.push_back(measure_workload(e.name, spec, workload));
+  }
+
+  std::vector<SweepMetrics> sweep_metrics;
+  struct SweepDef {
+    const char* name;
+    std::vector<workloads::Scenario> scenarios;
+  };
+  std::vector<SweepDef> sweeps;
+  sweeps.push_back({"fig7_cosmoflow_opt", cosmoflow_sweep(paper_scale)});
+  sweeps.push_back({"fig8_montage_opt", montage_sweep(paper_scale)});
+  sweeps.push_back({"ablation_stripe_size", stripe_sweep()});
+  for (auto& s : sweeps) {
+    std::cerr << "  sweep: " << s.name << " (jobs 1 vs " << jobs << ")\n";
+    sweep_metrics.push_back(measure_sweep(s.name, s.scenarios, jobs));
+  }
+
+  std::ofstream os(out_path);
+  os << "{\n";
+  os << "  \"schema\": \"wasp-bench-results-v1\",\n";
+  os << "  \"scale\": \"" << (paper_scale ? "paper" : "test") << "\",\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"hardware_threads\": "
+     << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < workload_metrics.size(); ++i) {
+    const auto& m = workload_metrics[i];
+    os << "    {\"name\": \"" << m.name << "\", "
+       << "\"sim_seconds\": " << json_num(m.sim_seconds) << ", "
+       << "\"analyze_seconds\": " << json_num(m.analyze_seconds) << ", "
+       << "\"engine_events\": " << m.engine_events << ", "
+       << "\"trace_rows\": " << m.trace_rows << ", "
+       << "\"events_per_sec\": " << json_num(m.events_per_sec) << ", "
+       << "\"analyzer_rows_per_sec\": " << json_num(m.analyzer_rows_per_sec)
+       << "}" << (i + 1 < workload_metrics.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweep_metrics.size(); ++i) {
+    const auto& m = sweep_metrics[i];
+    os << "    {\"name\": \"" << m.name << "\", "
+       << "\"scenarios\": " << m.scenarios << ", "
+       << "\"jobs1_seconds\": " << json_num(m.jobs1_seconds) << ", "
+       << "\"jobsN_seconds\": " << json_num(m.jobsN_seconds) << ", "
+       << "\"speedup\": " << json_num(m.speedup) << "}"
+       << (i + 1 < sweep_metrics.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  os.close();
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -30,7 +30,8 @@ std::string cell(double v, double paper) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wasp::benchutil::init_jobs(argc, argv);
   using namespace wasp;
   auto runs = benchutil::run_all_paper();
 

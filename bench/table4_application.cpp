@@ -4,7 +4,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  wasp::benchutil::init_jobs(argc, argv);
   using namespace wasp;
   auto runs = benchutil::run_all_paper();
   for (const auto& r : runs) {

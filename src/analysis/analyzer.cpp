@@ -4,10 +4,19 @@
 #include <map>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/units.hpp"
+
+// The analyze() pipeline is a deterministic map-reduce, mirroring the
+// paper's parquet + DASK task-parallel analysis: the trace is split into
+// fixed row chunks (boundaries depend only on trace size and chunk_rows,
+// never on the job count), each chunk is scanned independently into a
+// ChunkState, and the partials are merged on one thread in chunk-index
+// order. Integer aggregates are order-insensitive anyway; floating-point
+// sums get a fixed association order from the chunk-ordered merge, so the
+// profile is bit-identical at jobs=1 and jobs=N.
 
 namespace wasp::analysis {
 namespace {
@@ -38,6 +47,179 @@ void add_op(OpsBreakdown& b, const ColumnStore& cs, std::size_t i) {
   } else if (trace::is_meta(op)) {
     b.meta_ops += n;
     b.meta_sec += cs.duration_sec(i);
+  }
+}
+
+using Interval = std::pair<sim::Time, sim::Time>;
+
+/// Per-(scoped file, rank) access-stream summary for the sequentiality
+/// reduction. Whether a chunk's *first* op on a stream continues the
+/// previous chunk's stream is only decidable at merge time, so the chunk
+/// records the stream's entry offset and defers that single op's verdict.
+struct StreamState {
+  fs::Bytes first_offset = 0;
+  fs::Bytes last_end = 0;
+};
+
+/// Everything one row chunk contributes; merged in chunk-index order.
+struct ChunkState {
+  sim::Time job_t0 = 0;
+  sim::Time job_t1 = 0;
+  OpsBreakdown totals;
+  std::map<std::uint16_t, AppStats> apps;
+  std::map<ScopedFile, FileStats> files;
+  std::map<ScopedFile, std::size_t> file_first_row;
+  std::map<std::uint64_t, double> rank_io_sec;  // (app<<32|rank)
+  std::set<std::pair<std::uint16_t, std::int32_t>> procs;
+  std::set<std::int32_t> nodes;
+  std::map<ScopedFile, std::set<std::int32_t>> file_readers;
+  std::map<ScopedFile, std::set<std::int32_t>> file_writers;
+  std::map<std::pair<std::uint16_t, trace::Iface>, std::uint64_t> iface_ops;
+  std::map<std::pair<ScopedFile, std::int32_t>, StreamState> streams;
+  std::vector<std::pair<ScopedFile, std::int32_t>> stream_order;
+  std::uint64_t seq_ops = 0;  ///< excludes each stream's deferred first op
+  std::uint64_t pattern_ops = 0;
+  std::map<fs::Bytes, std::uint64_t> size_counts;
+  std::vector<Interval> io_intervals;
+  util::SizeHistogram read_hist = util::SizeHistogram::paper_buckets();
+  util::SizeHistogram write_hist = util::SizeHistogram::paper_buckets();
+  std::vector<std::vector<Interval>> read_iv;
+  std::vector<std::vector<Interval>> write_iv;
+  std::map<std::uint16_t, std::vector<std::size_t>> io_by_app;
+};
+
+/// The map step: one chunk's pass over its row range. Reads only the
+/// immutable ColumnStore plus value-copied lookup tables — no callbacks
+/// into lazily-built filesystem state (paths/sizes resolve post-merge).
+ChunkState scan_chunk(const ColumnStore& cs, const util::ChunkRange& range,
+                      const std::vector<std::string>& app_names,
+                      const std::vector<char>& fs_is_shared) {
+  ChunkState st;
+  st.read_iv.resize(st.read_hist.num_buckets());
+  st.write_iv.resize(st.write_hist.num_buckets());
+  st.job_t0 = cs.tstart(range.begin);
+  st.job_t1 = cs.tend(range.begin);
+
+  auto scoped = [&](std::size_t i) -> ScopedFile {
+    const trace::FileKey key = cs.file(i);
+    int scope = -1;
+    if (key.valid() && !fs_is_shared[static_cast<std::size_t>(key.fs)]) {
+      scope = cs.node(i);
+    }
+    return ScopedFile{key.fs, scope, key.file};
+  };
+
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const trace::Op op = cs.op(i);
+    st.job_t0 = std::min(st.job_t0, cs.tstart(i));
+    st.job_t1 = std::max(st.job_t1, cs.tend(i));
+
+    // App bookkeeping (all records).
+    auto [ait, fresh] = st.apps.try_emplace(cs.app(i));
+    AppStats& app = ait->second;
+    if (fresh) {
+      app.app = cs.app(i);
+      app.name = cs.app(i) < app_names.size() ? app_names[cs.app(i)]
+                                              : std::to_string(cs.app(i));
+      app.first_event = cs.tstart(i);
+      app.last_event = cs.tend(i);
+    } else {
+      app.first_event = std::min(app.first_event, cs.tstart(i));
+      app.last_event = std::max(app.last_event, cs.tend(i));
+    }
+    st.procs.insert({cs.app(i), cs.rank(i)});
+    st.nodes.insert(cs.node(i));
+    if (trace::is_io(op)) st.io_by_app[cs.app(i)].push_back(i);
+
+    if (cs.iface(i) == trace::Iface::kCpu) {
+      app.cpu_sec += cs.duration_sec(i);
+      continue;
+    }
+    if (cs.iface(i) == trace::Iface::kGpu) {
+      app.gpu_sec += cs.duration_sec(i);
+      continue;
+    }
+    if (!trace::is_io(op)) continue;
+
+    add_op(app.ops, cs, i);
+    add_op(st.totals, cs, i);
+    const std::uint64_t proc_key =
+        (static_cast<std::uint64_t>(cs.app(i)) << 32) |
+        static_cast<std::uint32_t>(cs.rank(i));
+    st.rank_io_sec[proc_key] += cs.duration_sec(i);
+    st.io_intervals.emplace_back(cs.tstart(i), cs.tend(i));
+    if (trace::is_data(op)) {
+      st.iface_ops[{cs.app(i), cs.iface(i)}] += cs.count(i);
+    }
+
+    // Histograms + interval collections (data ops only).
+    if (op == trace::Op::kRead) {
+      st.read_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
+      st.read_iv[st.read_hist.bucket_index(cs.size_col(i))].push_back(
+          {cs.tstart(i), cs.tend(i)});
+    } else if (op == trace::Op::kWrite) {
+      st.write_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
+      st.write_iv[st.write_hist.bucket_index(cs.size_col(i))].push_back(
+          {cs.tstart(i), cs.tend(i)});
+    }
+
+    // File bookkeeping.
+    const trace::FileKey key = cs.file(i);
+    if (!key.valid()) continue;
+    const ScopedFile sf = scoped(i);
+
+    if (trace::is_data(op)) {
+      st.size_counts[cs.size_col(i)] += cs.count(i);
+      // A coalesced record is internally sequential; only its first op can
+      // break the stream relative to the rank's previous access.
+      auto [sit, first_touch] = st.streams.try_emplace(
+          {sf, cs.rank(i)}, StreamState{cs.offset(i), cs.offset(i)});
+      st.pattern_ops += cs.count(i);
+      st.seq_ops += cs.count(i) - 1;
+      if (first_touch) {
+        st.stream_order.push_back({sf, cs.rank(i)});
+      } else if (sit->second.last_end == cs.offset(i)) {
+        ++st.seq_ops;
+      }
+      sit->second.last_end = cs.offset(i) + cs.total_bytes(i);
+    }
+    auto [fit, fnew] = st.files.try_emplace(sf);
+    FileStats& fstat = fit->second;
+    if (fnew) {
+      fstat.key = key;
+      fstat.node_scope = sf.node_scope;
+      fstat.first_access = cs.tstart(i);
+      fstat.last_access = cs.tend(i);
+      st.file_first_row.emplace(sf, i);
+    } else {
+      fstat.first_access = std::min(fstat.first_access, cs.tstart(i));
+      fstat.last_access = std::max(fstat.last_access, cs.tend(i));
+    }
+    add_op(fstat.ops, cs, i);
+    if (op == trace::Op::kRead) {
+      st.file_readers[sf].insert(cs.rank(i));
+      if (std::find(fstat.consumer_apps.begin(), fstat.consumer_apps.end(),
+                    cs.app(i)) == fstat.consumer_apps.end()) {
+        fstat.consumer_apps.push_back(cs.app(i));
+      }
+    } else if (op == trace::Op::kWrite) {
+      st.file_writers[sf].insert(cs.rank(i));
+      if (std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
+                    cs.app(i)) == fstat.producer_apps.end()) {
+        fstat.producer_apps.push_back(cs.app(i));
+      }
+    }
+  }
+  return st;
+}
+
+/// Append ids from `from` that `into` lacks, preserving first-seen order.
+void merge_app_ids(std::vector<std::uint16_t>& into,
+                   const std::vector<std::uint16_t>& from) {
+  for (const auto id : from) {
+    if (std::find(into.begin(), into.end(), id) == into.end()) {
+      into.push_back(id);
+    }
   }
 }
 
@@ -156,146 +338,134 @@ WorkloadProfile Analyzer::analyze(const trace::LogData& log) const {
 
 WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
   WorkloadProfile p;
-  const ColumnStore cs = ColumnStore::from_records(input.records);
+  const int jobs = util::resolve_jobs(opts_.jobs);
+  const std::size_t grain = opts_.chunk_rows > 0 ? opts_.chunk_rows : 65536;
+  const ColumnStore cs = ColumnStore::from_records(input.records, jobs);
   if (cs.empty()) return p;
+  util::ThreadPool pool(jobs - 1);
 
-  // --- Job extent ------------------------------------------------------
-  sim::Time job_t0 = cs.tstart(0);
-  sim::Time job_t1 = cs.tend(0);
+  // Filesystem-shared lookup table, resolved up front on this thread: the
+  // callback may touch lazily-built filesystem namespaces, which must not
+  // happen concurrently from chunk workers.
+  std::int16_t max_fs = -1;
   for (std::size_t i = 0; i < cs.size(); ++i) {
-    job_t0 = std::min(job_t0, cs.tstart(i));
-    job_t1 = std::max(job_t1, cs.tend(i));
+    max_fs = std::max(max_fs, cs.file(i).fs);
   }
-  p.job_runtime_sec = sim::to_seconds(job_t1 - job_t0);
+  std::vector<char> fs_is_shared(static_cast<std::size_t>(max_fs + 1), 1);
+  for (std::int16_t f = 0; f <= max_fs; ++f) {
+    fs_is_shared[static_cast<std::size_t>(f)] =
+        input.fs_shared(f) ? 1 : 0;
+  }
 
-  // --- Per-app, per-file, per-rank passes ------------------------------
+  // --- Map: scan chunks in parallel -------------------------------------
+  std::vector<ChunkState> parts = pool.map_chunks(
+      cs.size(), grain, [&](const util::ChunkRange& range) {
+        return scan_chunk(cs, range, input.app_names, fs_is_shared);
+      });
+
+  // --- Reduce: merge partials in chunk-index order ----------------------
+  sim::Time job_t0 = parts.front().job_t0;
+  sim::Time job_t1 = parts.front().job_t1;
   std::map<std::uint16_t, AppStats> apps;
   std::map<ScopedFile, FileStats> files;
-  std::unordered_map<std::uint64_t, double> rank_io_sec;  // (app<<32|rank)
+  std::map<ScopedFile, std::size_t> file_first_row;
+  std::map<std::uint64_t, double> rank_io_sec;
   std::set<std::pair<std::uint16_t, std::int32_t>> procs;
   std::set<std::int32_t> nodes;
   std::map<ScopedFile, std::set<std::int32_t>> file_readers;
   std::map<ScopedFile, std::set<std::int32_t>> file_writers;
-  // Dominant interface per app: ops per (app, iface).
   std::map<std::pair<std::uint16_t, trace::Iface>, std::uint64_t> iface_ops;
-  // Sequentiality: last end offset per (scoped file, rank).
   std::map<std::pair<ScopedFile, std::int32_t>, fs::Bytes> last_end;
   std::uint64_t seq_ops = 0;
   std::uint64_t pattern_ops = 0;
   std::map<fs::Bytes, std::uint64_t> size_counts_global;
-  std::vector<std::pair<sim::Time, sim::Time>> io_intervals;
-  // Interval collections for aggregate-bandwidth unions.
-  std::vector<std::vector<std::pair<sim::Time, sim::Time>>> read_iv(
-      p.read_hist.num_buckets());
-  std::vector<std::vector<std::pair<sim::Time, sim::Time>>> write_iv(
-      p.write_hist.num_buckets());
+  std::vector<Interval> io_intervals;
+  std::vector<std::vector<Interval>> read_iv(p.read_hist.num_buckets());
+  std::vector<std::vector<Interval>> write_iv(p.write_hist.num_buckets());
+  std::map<std::uint16_t, std::vector<std::size_t>> io_by_app;
 
-  auto scoped = [&input](const ColumnStore& c, std::size_t i) -> ScopedFile {
-    const trace::FileKey key = c.file(i);
-    int scope = -1;
-    if (key.valid() && !input.fs_shared(key.fs)) {
-      scope = c.node(i);
-    }
-    return ScopedFile{key.fs, scope, key.file};
-  };
-
-  for (std::size_t i = 0; i < cs.size(); ++i) {
-    const trace::Op op = cs.op(i);
-    // App bookkeeping (all records).
-    auto [ait, fresh] = apps.try_emplace(cs.app(i));
-    AppStats& app = ait->second;
-    if (fresh) {
-      app.app = cs.app(i);
-      app.name = cs.app(i) < input.app_names.size()
-                     ? input.app_names[cs.app(i)]
-                     : std::to_string(cs.app(i));
-      app.first_event = cs.tstart(i);
-      app.last_event = cs.tend(i);
-    } else {
-      app.first_event = std::min(app.first_event, cs.tstart(i));
-      app.last_event = std::max(app.last_event, cs.tend(i));
-    }
-    procs.insert({cs.app(i), cs.rank(i)});
-    nodes.insert(cs.node(i));
-
-    if (cs.iface(i) == trace::Iface::kCpu) {
-      app.cpu_sec += cs.duration_sec(i);
-      continue;
-    }
-    if (cs.iface(i) == trace::Iface::kGpu) {
-      app.gpu_sec += cs.duration_sec(i);
-      continue;
-    }
-    if (!trace::is_io(op)) continue;
-
-    add_op(app.ops, cs, i);
-    add_op(p.totals, cs, i);
-    const std::uint64_t proc_key =
-        (static_cast<std::uint64_t>(cs.app(i)) << 32) |
-        static_cast<std::uint32_t>(cs.rank(i));
-    rank_io_sec[proc_key] += cs.duration_sec(i);
-    io_intervals.emplace_back(cs.tstart(i), cs.tend(i));
-    if (trace::is_data(op)) {
-      iface_ops[{cs.app(i), cs.iface(i)}] += cs.count(i);
-    }
-
-    // Histograms + interval unions (data ops only).
-    if (op == trace::Op::kRead) {
-      p.read_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
-      read_iv[p.read_hist.bucket_index(cs.size_col(i))].push_back(
-          {cs.tstart(i), cs.tend(i)});
-    } else if (op == trace::Op::kWrite) {
-      p.write_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
-      write_iv[p.write_hist.bucket_index(cs.size_col(i))].push_back(
-          {cs.tstart(i), cs.tend(i)});
-    }
-
-    // File bookkeeping.
-    const trace::FileKey key = cs.file(i);
-    if (!key.valid()) continue;
-    const ScopedFile sf = scoped(cs, i);
-
-    if (trace::is_data(op)) {
-      size_counts_global[cs.size_col(i)] += cs.count(i);
-      // A coalesced record is internally sequential; only its first op can
-      // break the stream relative to the rank's previous access.
-      auto [lit, first_touch] =
-          last_end.try_emplace({sf, cs.rank(i)}, cs.offset(i));
-      pattern_ops += cs.count(i);
-      seq_ops += cs.count(i) - 1;
-      if (first_touch || lit->second == cs.offset(i)) ++seq_ops;
-      lit->second = cs.offset(i) + cs.total_bytes(i);
-    }
-    auto [fit, fnew] = files.try_emplace(sf);
-    FileStats& fstat = fit->second;
-    if (fnew) {
-      fstat.key = key;
-      fstat.node_scope = sf.node_scope;
-      fstat.path = input.path_at(i);
-      fstat.first_access = cs.tstart(i);
-      fstat.last_access = cs.tend(i);
-    } else {
-      fstat.first_access = std::min(fstat.first_access, cs.tstart(i));
-      fstat.last_access = std::max(fstat.last_access, cs.tend(i));
-    }
-    fstat.size = std::max(fstat.size, input.size_at(i));
-    add_op(fstat.ops, cs, i);
-    if (op == trace::Op::kRead) {
-      file_readers[sf].insert(cs.rank(i));
-      if (std::find(fstat.consumer_apps.begin(), fstat.consumer_apps.end(),
-                    cs.app(i)) == fstat.consumer_apps.end()) {
-        fstat.consumer_apps.push_back(cs.app(i));
+  for (ChunkState& c : parts) {
+    job_t0 = std::min(job_t0, c.job_t0);
+    job_t1 = std::max(job_t1, c.job_t1);
+    p.totals.merge(c.totals);
+    for (auto& [id, capp] : c.apps) {
+      auto [it, fresh] = apps.try_emplace(id);
+      if (fresh) {
+        it->second = std::move(capp);
+      } else {
+        AppStats& g = it->second;
+        g.first_event = std::min(g.first_event, capp.first_event);
+        g.last_event = std::max(g.last_event, capp.last_event);
+        g.cpu_sec += capp.cpu_sec;
+        g.gpu_sec += capp.gpu_sec;
+        g.ops.merge(capp.ops);
       }
-    } else if (op == trace::Op::kWrite) {
-      file_writers[sf].insert(cs.rank(i));
-      if (std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
-                    cs.app(i)) == fstat.producer_apps.end()) {
-        fstat.producer_apps.push_back(cs.app(i));
+    }
+    for (auto& [sf, cfile] : c.files) {
+      auto [it, fresh] = files.try_emplace(sf);
+      if (fresh) {
+        it->second = std::move(cfile);
+      } else {
+        FileStats& g = it->second;
+        g.first_access = std::min(g.first_access, cfile.first_access);
+        g.last_access = std::max(g.last_access, cfile.last_access);
+        g.ops.merge(cfile.ops);
+        merge_app_ids(g.producer_apps, cfile.producer_apps);
+        merge_app_ids(g.consumer_apps, cfile.consumer_apps);
       }
+    }
+    for (const auto& [sf, row] : c.file_first_row) {
+      file_first_row.try_emplace(sf, row);  // first chunk touching it wins
+    }
+    for (const auto& [k, v] : c.rank_io_sec) rank_io_sec[k] += v;
+    procs.insert(c.procs.begin(), c.procs.end());
+    nodes.insert(c.nodes.begin(), c.nodes.end());
+    for (auto& [sf, ranks] : c.file_readers) {
+      file_readers[sf].insert(ranks.begin(), ranks.end());
+    }
+    for (auto& [sf, ranks] : c.file_writers) {
+      file_writers[sf].insert(ranks.begin(), ranks.end());
+    }
+    for (const auto& [k, n] : c.iface_ops) iface_ops[k] += n;
+    // Sequentiality: settle each stream's deferred first op against the
+    // previous chunks' stream tail, then adopt this chunk's tail.
+    seq_ops += c.seq_ops;
+    pattern_ops += c.pattern_ops;
+    for (const auto& key : c.stream_order) {
+      const StreamState& s = c.streams.at(key);
+      auto [it, first_touch] = last_end.try_emplace(key, 0);
+      if (first_touch || it->second == s.first_offset) ++seq_ops;
+      it->second = s.last_end;
+    }
+    for (const auto& [sz, n] : c.size_counts) size_counts_global[sz] += n;
+    io_intervals.insert(io_intervals.end(), c.io_intervals.begin(),
+                        c.io_intervals.end());
+    p.read_hist.merge(c.read_hist);
+    p.write_hist.merge(c.write_hist);
+    for (std::size_t b = 0; b < read_iv.size(); ++b) {
+      read_iv[b].insert(read_iv[b].end(), c.read_iv[b].begin(),
+                        c.read_iv[b].end());
+      write_iv[b].insert(write_iv[b].end(), c.write_iv[b].begin(),
+                         c.write_iv[b].end());
+    }
+    for (auto& [aid, idx] : c.io_by_app) {
+      auto& dst = io_by_app[aid];
+      dst.insert(dst.end(), idx.begin(), idx.end());
     }
   }
+  parts.clear();
+  p.job_runtime_sec = sim::to_seconds(job_t1 - job_t0);
 
-  // Resolve per-file sizes and sharing.
+  // Resolve per-file paths and sizes from each file's first record — these
+  // callbacks may touch lazily-built filesystem state, so they run here,
+  // serially, not in the chunk workers.
+  for (auto& [sf, fstat] : files) {
+    const std::size_t i = file_first_row.at(sf);
+    fstat.path = input.path_at(i);
+    fstat.size = std::max(fstat.size, input.size_at(i));
+  }
+
+  // Resolve per-file sharing.
   for (auto& [sf, fstat] : files) {
     const auto& readers = file_readers[sf];
     const auto& writers = file_writers[sf];
@@ -311,28 +481,40 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
     }
   }
 
-  // Per-app file sharing counts + dominant interface.
-  for (auto& [id, app] : apps) {
-    for (const auto& [sf, fstat] : files) {
-      const bool touches =
-          std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
-                    id) != fstat.producer_apps.end() ||
-          std::find(fstat.consumer_apps.begin(), fstat.consumer_apps.end(),
-                    id) != fstat.consumer_apps.end();
-      if (!touches) continue;
-      if (fstat.shared()) {
-        ++app.shared_files;
-      } else {
-        ++app.fpp_files;
-      }
+  // Per-app file sharing counts + dominant interface: each task writes only
+  // its own app and reads the (now frozen) file map.
+  {
+    std::vector<AppStats*> app_ptrs;
+    app_ptrs.reserve(apps.size());
+    for (auto& [id, app] : apps) {
+      (void)id;
+      app_ptrs.push_back(&app);
     }
-    std::uint64_t best = 0;
-    for (const auto& [key, n] : iface_ops) {
-      if (key.first == id && n > best) {
-        best = n;
-        app.interface = key.second;
+    pool.run(app_ptrs.size(), [&](std::size_t a) {
+      AppStats& app = *app_ptrs[a];
+      const std::uint16_t id = app.app;
+      for (const auto& [sf, fstat] : files) {
+        (void)sf;
+        const bool touches =
+            std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
+                      id) != fstat.producer_apps.end() ||
+            std::find(fstat.consumer_apps.begin(), fstat.consumer_apps.end(),
+                      id) != fstat.consumer_apps.end();
+        if (!touches) continue;
+        if (fstat.shared()) {
+          ++app.shared_files;
+        } else {
+          ++app.fpp_files;
+        }
       }
-    }
+      std::uint64_t best = 0;
+      for (const auto& [key, n] : iface_ops) {
+        if (key.first == id && n > best) {
+          best = n;
+          app.interface = key.second;
+        }
+      }
+    });
   }
 
   // Count procs per app.
@@ -344,39 +526,55 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
   p.num_nodes = static_cast<int>(nodes.size());
 
   // I/O-time fractions: wall-clock coverage (Table I) and per-rank mean.
-  if (p.job_runtime_sec > 0) {
-    p.io_time_fraction =
-        union_seconds(std::move(io_intervals)) / p.job_runtime_sec;
-    double sum = 0;
-    for (const auto& [k, v] : rank_io_sec) {
-      (void)k;
-      sum += v;
+  // The interval unions (one per histogram bucket plus the global one) are
+  // independent sort+sweep reductions — one task each, results by slot.
+  {
+    const std::size_t nb = read_iv.size();
+    std::vector<double> unions(1 + 2 * nb, 0.0);
+    pool.run(unions.size(), [&](std::size_t t) {
+      if (t == 0) {
+        unions[0] = union_seconds(std::move(io_intervals));
+      } else if (t <= nb) {
+        unions[t] = union_seconds(std::move(read_iv[t - 1]));
+      } else {
+        unions[t] = union_seconds(std::move(write_iv[t - 1 - nb]));
+      }
+    });
+    if (p.job_runtime_sec > 0) {
+      p.io_time_fraction = unions[0] / p.job_runtime_sec;
+      double sum = 0;
+      for (const auto& [k, v] : rank_io_sec) {
+        (void)k;
+        sum += v;
+      }
+      if (!procs.empty()) {
+        p.io_busy_fraction =
+            sum / static_cast<double>(procs.size()) / p.job_runtime_sec;
+      }
     }
-    if (!procs.empty()) {
-      p.io_busy_fraction =
-          sum / static_cast<double>(procs.size()) / p.job_runtime_sec;
+    for (std::size_t b = 0; b < nb; ++b) {
+      p.read_hist.add_seconds(b, unions[1 + b]);
+      p.write_hist.add_seconds(b, unions[1 + nb + b]);
     }
-  }
-
-  // Histogram busy times (interval unions per bucket).
-  for (std::size_t b = 0; b < read_iv.size(); ++b) {
-    p.read_hist.add_seconds(b, union_seconds(std::move(read_iv[b])));
-  }
-  for (std::size_t b = 0; b < write_iv.size(); ++b) {
-    p.write_hist.add_seconds(b, union_seconds(std::move(write_iv[b])));
   }
 
   // --- Phases (per app, over I/O records sorted by start) ---------------
+  // Each app's phase extraction is an independent sequential sweep; apps
+  // map in parallel, results concatenate in app-id order (the merged
+  // io_by_app row lists are already ascending, matching the serial pass).
   {
-    std::map<std::uint16_t, std::vector<std::size_t>> io_by_app;
-    for (std::size_t i = 0; i < cs.size(); ++i) {
-      if (trace::is_io(cs.op(i))) io_by_app[cs.app(i)].push_back(i);
-    }
-    for (auto& [aid, idx] : io_by_app) {
-      std::sort(idx.begin(), idx.end(), [&cs](std::size_t a, std::size_t b) {
-        return cs.tstart(a) != cs.tstart(b) ? cs.tstart(a) < cs.tstart(b)
-                                            : a < b;
+    std::vector<std::pair<std::uint16_t, std::vector<std::size_t>*>> by_app;
+    by_app.reserve(io_by_app.size());
+    for (auto& [aid, idx] : io_by_app) by_app.push_back({aid, &idx});
+    std::vector<std::vector<Phase>> app_phases(by_app.size());
+    pool.run(by_app.size(), [&](std::size_t a) {
+      const std::uint16_t aid = by_app[a].first;
+      std::vector<std::size_t>& idx = *by_app[a].second;
+      std::sort(idx.begin(), idx.end(), [&cs](std::size_t x, std::size_t y) {
+        return cs.tstart(x) != cs.tstart(y) ? cs.tstart(x) < cs.tstart(y)
+                                            : x < y;
       });
+      std::vector<Phase>& out = app_phases[a];
       Phase cur;
       std::map<fs::Bytes, std::uint64_t> size_counts;
       std::set<std::int32_t> ranks;
@@ -396,7 +594,7 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
             ranks.empty() ? 0.0
                           : static_cast<double>(cur.ops.total_ops()) /
                                 static_cast<double>(ranks.size());
-        p.phases.push_back(cur);
+        out.push_back(cur);
         size_counts.clear();
         ranks.clear();
         open = false;
@@ -421,6 +619,9 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
         ranks.insert(cs.rank(i));
       }
       flush();
+    });
+    for (const auto& phs : app_phases) {
+      p.phases.insert(p.phases.end(), phs.begin(), phs.end());
     }
     std::sort(p.phases.begin(), p.phases.end(),
               [](const Phase& a, const Phase& b) { return a.t0 < b.t0; });
@@ -448,7 +649,9 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
     }
   }
 
-  // --- Timeline -----------------------------------------------------------
+  // --- Timeline ----------------------------------------------------------
+  // Needs the job extent, so it is a second chunked pass: per-chunk bin
+  // vectors, added together in chunk-index order.
   {
     sim::Time bin = opts_.timeline_bin;
     const sim::Time span = job_t1 - job_t0;
@@ -459,19 +662,33 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
     p.timeline.bin_width = bin;
     p.timeline.read_bps.assign(nbins, 0.0);
     p.timeline.write_bps.assign(nbins, 0.0);
-    for (std::size_t i = 0; i < cs.size(); ++i) {
-      if (!trace::is_data(cs.op(i))) continue;
-      const double bytes = static_cast<double>(cs.total_bytes(i));
-      if (bytes <= 0) continue;
-      const sim::Time t0 = cs.tstart(i) - job_t0;
-      const sim::Time t1 = std::max(cs.tend(i) - job_t0, t0 + 1);
-      const auto b0 = static_cast<std::size_t>(t0 / bin);
-      const auto b1 = std::min(static_cast<std::size_t>((t1 - 1) / bin),
-                               nbins - 1);
-      const double per_bin = bytes / static_cast<double>(b1 - b0 + 1);
-      auto& series = cs.op(i) == trace::Op::kRead ? p.timeline.read_bps
-                                                  : p.timeline.write_bps;
-      for (std::size_t b = b0; b <= b1; ++b) series[b] += per_bin;
+    using Bins = std::pair<std::vector<double>, std::vector<double>>;
+    const std::vector<Bins> chunk_bins = pool.map_chunks(
+        cs.size(), grain, [&](const util::ChunkRange& range) {
+          Bins local{std::vector<double>(nbins, 0.0),
+                     std::vector<double>(nbins, 0.0)};
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            if (!trace::is_data(cs.op(i))) continue;
+            const double bytes = static_cast<double>(cs.total_bytes(i));
+            if (bytes <= 0) continue;
+            const sim::Time t0 = cs.tstart(i) - job_t0;
+            const sim::Time t1 = std::max(cs.tend(i) - job_t0, t0 + 1);
+            const auto b0 = static_cast<std::size_t>(t0 / bin);
+            const auto b1 =
+                std::min(static_cast<std::size_t>((t1 - 1) / bin), nbins - 1);
+            const double per_bin =
+                bytes / static_cast<double>(b1 - b0 + 1);
+            auto& series = cs.op(i) == trace::Op::kRead ? local.first
+                                                        : local.second;
+            for (std::size_t b = b0; b <= b1; ++b) series[b] += per_bin;
+          }
+          return local;
+        });
+    for (const Bins& local : chunk_bins) {
+      for (std::size_t b = 0; b < nbins; ++b) {
+        p.timeline.read_bps[b] += local.first[b];
+        p.timeline.write_bps[b] += local.second[b];
+      }
     }
     const double bin_sec = sim::to_seconds(bin);
     for (auto& v : p.timeline.read_bps) v /= bin_sec;

@@ -33,6 +33,16 @@ class Analyzer {
     sim::Time timeline_bin = 1 * sim::kSec;
     /// Cap on timeline bins (long jobs get coarser bins instead).
     std::size_t max_timeline_bins = 2048;
+    /// Worker threads for the chunked map-reduce passes. 0 picks up
+    /// util::default_jobs() (WASP_JOBS / --jobs). The profile is
+    /// bit-identical for every value: chunk boundaries depend only on the
+    /// trace size and chunk_rows, and per-chunk partials are merged in
+    /// chunk-index order.
+    int jobs = 0;
+    /// Rows per map-reduce chunk. Part of the deterministic algorithm
+    /// definition: changing it may change the merge order of floating-point
+    /// partial sums (never the semantics).
+    std::size_t chunk_rows = 65536;
   };
 
   Analyzer() : opts_() {}

@@ -2,36 +2,40 @@
 
 namespace wasp::analysis {
 
-ColumnStore ColumnStore::from_records(
-    std::span<const trace::Record> records) {
+ColumnStore ColumnStore::from_records(std::span<const trace::Record> records,
+                                      int jobs) {
   ColumnStore cs;
   const std::size_t n = records.size();
-  cs.app_.reserve(n);
-  cs.rank_.reserve(n);
-  cs.node_.reserve(n);
-  cs.iface_.reserve(n);
-  cs.op_.reserve(n);
-  cs.fs_.reserve(n);
-  cs.file_.reserve(n);
-  cs.offset_.reserve(n);
-  cs.size_.reserve(n);
-  cs.count_.reserve(n);
-  cs.tstart_.reserve(n);
-  cs.tend_.reserve(n);
-  for (const auto& r : records) {
-    cs.app_.push_back(r.app);
-    cs.rank_.push_back(r.rank);
-    cs.node_.push_back(r.node);
-    cs.iface_.push_back(r.iface);
-    cs.op_.push_back(r.op);
-    cs.fs_.push_back(r.file.fs);
-    cs.file_.push_back(r.file.file);
-    cs.offset_.push_back(r.offset);
-    cs.size_.push_back(r.size);
-    cs.count_.push_back(r.count);
-    cs.tstart_.push_back(r.tstart);
-    cs.tend_.push_back(r.tend);
-  }
+  cs.app_.resize(n);
+  cs.rank_.resize(n);
+  cs.node_.resize(n);
+  cs.iface_.resize(n);
+  cs.op_.resize(n);
+  cs.fs_.resize(n);
+  cs.file_.resize(n);
+  cs.offset_.resize(n);
+  cs.size_.resize(n);
+  cs.count_.resize(n);
+  cs.tstart_.resize(n);
+  cs.tend_.resize(n);
+  // Each chunk writes a disjoint row range of every column — no sharing.
+  util::parallel_for(jobs, n, 1 << 17, [&](const util::ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      const trace::Record& r = records[i];
+      cs.app_[i] = r.app;
+      cs.rank_[i] = r.rank;
+      cs.node_[i] = r.node;
+      cs.iface_[i] = r.iface;
+      cs.op_[i] = r.op;
+      cs.fs_[i] = r.file.fs;
+      cs.file_[i] = r.file.file;
+      cs.offset_[i] = r.offset;
+      cs.size_[i] = r.size;
+      cs.count_[i] = r.count;
+      cs.tstart_[i] = r.tstart;
+      cs.tend_[i] = r.tend;
+    }
+  });
   return cs;
 }
 

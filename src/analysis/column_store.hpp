@@ -1,7 +1,9 @@
 // Column-major trace storage — the stand-in for the Analyzer's
 // Recorder-log -> parquet conversion. Row-major Recorder logs are expensive
 // to filter/aggregate; the paper converts to parquet and processes with
-// DASK. Analysis here runs over these columns.
+// DASK. Analysis here runs over these columns, optionally filled and
+// scanned chunk-parallel (fixed chunking, chunk-order merges — results are
+// independent of the job count).
 #pragma once
 
 #include <cstdint>
@@ -9,12 +11,17 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/parallel.hpp"
 
 namespace wasp::analysis {
 
 class ColumnStore {
  public:
-  static ColumnStore from_records(std::span<const trace::Record> records);
+  /// Transpose records into columns. With jobs > 1 the fill runs
+  /// chunk-parallel over preallocated columns (each chunk writes a disjoint
+  /// row range), producing the same store as the sequential fill.
+  static ColumnStore from_records(std::span<const trace::Record> records,
+                                  int jobs = 1);
 
   std::size_t size() const noexcept { return app_.size(); }
   bool empty() const noexcept { return app_.empty(); }
@@ -42,13 +49,38 @@ class ColumnStore {
   /// Reconstruct a row (tests, CSV export).
   trace::Record row(std::size_t i) const;
 
-  /// Indices of rows matching a predicate over (store, index).
+  /// Indices of rows matching a predicate over (store, index), ascending.
   template <typename Pred>
   std::vector<std::size_t> select(Pred pred) const {
     std::vector<std::size_t> out;
+    out.reserve(size());
     for (std::size_t i = 0; i < size(); ++i) {
       if (pred(*this, i)) out.push_back(i);
     }
+    return out;
+  }
+
+  /// select() with the predicate evaluated chunk-parallel; per-chunk hits
+  /// are concatenated in chunk-index order, so the result is exactly the
+  /// sequential select() for any job count.
+  template <typename Pred>
+  std::vector<std::size_t> select(Pred pred, int jobs,
+                                  std::size_t grain = 65536) const {
+    const auto hits = util::parallel_map(
+        jobs, size(), grain,
+        [&](const util::ChunkRange& c) {
+          std::vector<std::size_t> local;
+          local.reserve(c.size());
+          for (std::size_t i = c.begin; i < c.end; ++i) {
+            if (pred(*this, i)) local.push_back(i);
+          }
+          return local;
+        });
+    std::size_t total = 0;
+    for (const auto& h : hits) total += h.size();
+    std::vector<std::size_t> out;
+    out.reserve(total);
+    for (const auto& h : hits) out.insert(out.end(), h.begin(), h.end());
     return out;
   }
 

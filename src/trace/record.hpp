@@ -88,6 +88,8 @@ struct Record {
   sim::Time tstart = 0;
   sim::Time tend = 0;
 
+  bool operator==(const Record&) const = default;
+
   fs::Bytes total_bytes() const noexcept {
     return size * static_cast<fs::Bytes>(count);
   }

@@ -1,5 +1,6 @@
 #include "workloads/workload.hpp"
 
+#include "runtime/scenario_runner.hpp"
 #include "util/error.hpp"
 
 namespace wasp::workloads {
@@ -40,6 +41,20 @@ RunOutput run(const cluster::ClusterSpec& spec, const Workload& workload,
               const analysis::Analyzer::Options& analyzer_opts) {
   runtime::Simulation sim(spec);
   return run_with(sim, workload, cfg, analyzer_opts);
+}
+
+std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
+                                int jobs) {
+  std::vector<std::function<RunOutput()>> fns;
+  fns.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) {
+    WASP_CHECK_MSG(static_cast<bool>(s.make),
+                   "scenario has no workload factory: " + s.name);
+    fns.push_back([&s] {
+      return run(s.spec, s.make(), s.cfg, s.analyzer_opts);
+    });
+  }
+  return runtime::ScenarioRunner(jobs).run<RunOutput>(fns);
 }
 
 }  // namespace wasp::workloads

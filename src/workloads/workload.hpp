@@ -47,4 +47,22 @@ RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
                    const advisor::RunConfig& cfg,
                    const analysis::Analyzer::Options& analyzer_opts);
 
+/// A named, self-contained run request for batch execution. The workload
+/// factory is invoked on the worker thread that runs the scenario, so the
+/// Workload and the entire simulation world it launches into (engine,
+/// cluster, filesystems, tracer) stay thread-confined.
+struct Scenario {
+  std::string name;
+  cluster::ClusterSpec spec;
+  std::function<Workload()> make;
+  advisor::RunConfig cfg;
+  analysis::Analyzer::Options analyzer_opts;
+};
+
+/// Run independent scenarios concurrently via runtime::ScenarioRunner
+/// (jobs == 0 -> util::default_jobs()). Results are in input order and
+/// bit-identical to running each scenario sequentially.
+std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
+                                int jobs = 0);
+
 }  // namespace wasp::workloads

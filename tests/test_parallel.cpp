@@ -1,0 +1,413 @@
+// Determinism contract of the parallel execution layer: fixed chunking,
+// chunk-order merges, and thread-confined scenarios must make every result
+// bit-identical at jobs=1 and jobs=N. Doubles are compared with ==, not
+// tolerances — "close" would mean the contract is broken.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "runtime/scenario_runner.hpp"
+#include "trace/log_io.hpp"
+#include "util/parallel.hpp"
+#include "workloads/registry.hpp"
+
+namespace wasp {
+namespace {
+
+// ---------------------------------------------------------------- chunking
+
+TEST(MakeChunks, EmptyAndSingle) {
+  EXPECT_TRUE(util::make_chunks(0, 64).empty());
+  const auto one = util::make_chunks(10, 64);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0u);
+  EXPECT_EQ(one[0].end, 10u);
+  EXPECT_EQ(one[0].index, 0u);
+}
+
+TEST(MakeChunks, CoversRangeContiguouslyAndEvenly) {
+  for (std::size_t n : {1u, 7u, 64u, 100u, 1000u, 65537u}) {
+    for (std::size_t grain : {1u, 3u, 64u, 999u}) {
+      const auto chunks = util::make_chunks(n, grain);
+      ASSERT_FALSE(chunks.empty());
+      std::size_t expect_begin = 0;
+      std::size_t min_sz = n, max_sz = 0;
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        EXPECT_EQ(chunks[i].index, i);
+        EXPECT_EQ(chunks[i].begin, expect_begin);
+        EXPECT_GT(chunks[i].end, chunks[i].begin);
+        min_sz = std::min(min_sz, chunks[i].size());
+        max_sz = std::max(max_sz, chunks[i].size());
+        expect_begin = chunks[i].end;
+      }
+      EXPECT_EQ(expect_begin, n);
+      EXPECT_LE(max_sz - min_sz, 1u) << "n=" << n << " grain=" << grain;
+      EXPECT_LE(max_sz, grain);
+    }
+  }
+}
+
+TEST(MakeChunks, PureFunctionOfInputs) {
+  EXPECT_EQ(util::make_chunks(12345, 256).size(),
+            util::make_chunks(12345, 256).size());
+  const auto a = util::make_chunks(12345, 256);
+  const auto b = util::make_chunks(12345, 256);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+TEST(ResolveJobs, ZeroMeansDefaultNegativeClampsToOne) {
+  const int saved = util::default_jobs();
+  util::set_default_jobs(3);
+  EXPECT_EQ(util::resolve_jobs(0), 3);
+  EXPECT_EQ(util::resolve_jobs(5), 5);
+  EXPECT_EQ(util::resolve_jobs(-2), 1);
+  util::set_default_jobs(saved);
+}
+
+// -------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersIsSequentialAscending) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.parallelism(), 1);
+  std::vector<std::size_t> order;
+  pool.run(100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  util::ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(round * 7 + 1, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    const int n = round * 7 + 1;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  }
+}
+
+TEST(ThreadPool, RethrowsLowestIndexFailure) {
+  util::ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.run(64, [&](std::size_t i) {
+        if (i == 3 || i == 7 || i == 50) {
+          throw std::runtime_error(std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "3");
+    }
+    // Pool must stay usable after a failed batch.
+    std::atomic<int> ran{0};
+    pool.run(16, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 16);
+  }
+}
+
+TEST(ParallelMap, ResultsInChunkIndexOrder) {
+  const auto ranges = util::parallel_map(
+      4, 1000, 37, [](const util::ChunkRange& c) { return c; });
+  const auto expect = util::make_chunks(1000, 37);
+  ASSERT_EQ(ranges.size(), expect.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].index, i);
+    EXPECT_EQ(ranges[i].begin, expect[i].begin);
+    EXPECT_EQ(ranges[i].end, expect[i].end);
+  }
+}
+
+TEST(ParallelMap, FloatingPointSumBitIdenticalAcrossJobs) {
+  // Awkwardly-scaled values so reassociation WOULD change the bits.
+  std::vector<double> values(10007);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (auto& v : values) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v = static_cast<double>(state >> 11) * 1.1102230246251565e-16 *
+        (1.0 + static_cast<double>(state % 97));
+  }
+  auto chunked_sum = [&](int jobs) {
+    const auto partials = util::parallel_map(
+        jobs, values.size(), 257, [&](const util::ChunkRange& c) {
+          double s = 0.0;
+          for (std::size_t i = c.begin; i < c.end; ++i) s += values[i];
+          return s;
+        });
+    double total = 0.0;
+    for (double p : partials) total += p;  // chunk-index order
+    return total;
+  };
+  const double base = chunked_sum(1);
+  for (int jobs : {2, 3, 4, 8}) {
+    EXPECT_EQ(base, chunked_sum(jobs)) << "jobs=" << jobs;
+  }
+  EXPECT_EQ(base, chunked_sum(8));  // run-to-run
+}
+
+// ------------------------------------------------------------- ColumnStore
+
+TEST(ColumnStore, ParallelFillMatchesSequential) {
+  runtime::Simulation sim(cluster::lassen(2));
+  auto out = workloads::run_with(
+      sim, workloads::make_hacc(workloads::HaccParams::test()),
+      advisor::RunConfig{}, analysis::Analyzer::Options{});
+  const auto& records = sim.tracer().records();
+  ASSERT_GT(records.size(), 100u);
+
+  const auto seq = analysis::ColumnStore::from_records(records, 1);
+  const auto par = analysis::ColumnStore::from_records(records, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  ASSERT_EQ(seq.size(), records.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_TRUE(seq.row(i) == par.row(i)) << "row " << i;
+    EXPECT_TRUE(par.row(i) == records[i]) << "row " << i;
+  }
+
+  const auto pred = [](const analysis::ColumnStore& cs, std::size_t i) {
+    return trace::is_io(cs.op(i)) && cs.size_col(i) > 0;
+  };
+  const auto s1 = seq.select(pred);
+  for (int jobs : {1, 2, 4}) {
+    EXPECT_EQ(s1, seq.select(pred, jobs, 113)) << "jobs=" << jobs;
+  }
+}
+
+// ---------------------------------------------------------------- Analyzer
+
+void expect_ops_identical(const analysis::OpsBreakdown& a,
+                          const analysis::OpsBreakdown& b) {
+  EXPECT_EQ(a.read_ops, b.read_ops);
+  EXPECT_EQ(a.write_ops, b.write_ops);
+  EXPECT_EQ(a.meta_ops, b.meta_ops);
+  EXPECT_EQ(a.read_bytes, b.read_bytes);
+  EXPECT_EQ(a.write_bytes, b.write_bytes);
+  EXPECT_EQ(a.data_sec, b.data_sec);  // bitwise: == on doubles is the point
+  EXPECT_EQ(a.meta_sec, b.meta_sec);
+}
+
+void expect_hist_identical(const util::SizeHistogram& a,
+                           const util::SizeHistogram& b) {
+  ASSERT_EQ(a.num_buckets(), b.num_buckets());
+  for (std::size_t i = 0; i < a.num_buckets(); ++i) {
+    EXPECT_EQ(a.count(i), b.count(i));
+    EXPECT_EQ(a.bytes(i), b.bytes(i));
+    EXPECT_EQ(a.seconds(i), b.seconds(i));
+  }
+}
+
+/// Every field, every double with operator== — the profile must be
+/// bit-identical, not merely close.
+void expect_profiles_identical(const analysis::WorkloadProfile& a,
+                               const analysis::WorkloadProfile& b) {
+  EXPECT_EQ(a.job_runtime_sec, b.job_runtime_sec);
+  expect_ops_identical(a.totals, b.totals);
+  EXPECT_EQ(a.io_time_fraction, b.io_time_fraction);
+  EXPECT_EQ(a.io_busy_fraction, b.io_busy_fraction);
+  EXPECT_EQ(a.num_procs, b.num_procs);
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    const auto& x = a.apps[i];
+    const auto& y = b.apps[i];
+    EXPECT_EQ(x.app, y.app);
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.num_procs, y.num_procs);
+    expect_ops_identical(x.ops, y.ops);
+    EXPECT_EQ(x.cpu_sec, y.cpu_sec);
+    EXPECT_EQ(x.gpu_sec, y.gpu_sec);
+    EXPECT_EQ(x.first_event, y.first_event);
+    EXPECT_EQ(x.last_event, y.last_event);
+    EXPECT_EQ(x.fpp_files, y.fpp_files);
+    EXPECT_EQ(x.shared_files, y.shared_files);
+    EXPECT_EQ(x.interface, y.interface);
+  }
+
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    const auto& x = a.files[i];
+    const auto& y = b.files[i];
+    EXPECT_TRUE(x.key == y.key);
+    EXPECT_EQ(x.node_scope, y.node_scope);
+    EXPECT_EQ(x.path, y.path);
+    EXPECT_EQ(x.size, y.size);
+    expect_ops_identical(x.ops, y.ops);
+    EXPECT_EQ(x.first_access, y.first_access);
+    EXPECT_EQ(x.last_access, y.last_access);
+    EXPECT_EQ(x.reader_ranks, y.reader_ranks);
+    EXPECT_EQ(x.writer_ranks, y.writer_ranks);
+    EXPECT_EQ(x.accessor_ranks, y.accessor_ranks);
+    EXPECT_EQ(x.producer_apps, y.producer_apps);
+    EXPECT_EQ(x.consumer_apps, y.consumer_apps);
+  }
+
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    const auto& x = a.phases[i];
+    const auto& y = b.phases[i];
+    EXPECT_EQ(x.app, y.app);
+    EXPECT_EQ(x.t0, y.t0);
+    EXPECT_EQ(x.t1, y.t1);
+    expect_ops_identical(x.ops, y.ops);
+    EXPECT_EQ(x.dominant_size, y.dominant_size);
+    EXPECT_EQ(x.ops_per_rank, y.ops_per_rank);
+  }
+
+  ASSERT_EQ(a.app_edges.size(), b.app_edges.size());
+  for (std::size_t i = 0; i < a.app_edges.size(); ++i) {
+    EXPECT_EQ(a.app_edges[i].producer, b.app_edges[i].producer);
+    EXPECT_EQ(a.app_edges[i].consumer, b.app_edges[i].consumer);
+    EXPECT_EQ(a.app_edges[i].bytes, b.app_edges[i].bytes);
+    EXPECT_EQ(a.app_edges[i].files, b.app_edges[i].files);
+  }
+
+  expect_hist_identical(a.read_hist, b.read_hist);
+  expect_hist_identical(a.write_hist, b.write_hist);
+
+  EXPECT_EQ(a.timeline.bin_width, b.timeline.bin_width);
+  EXPECT_EQ(a.timeline.read_bps, b.timeline.read_bps);
+  EXPECT_EQ(a.timeline.write_bps, b.timeline.write_bps);
+
+  EXPECT_EQ(a.shared_files, b.shared_files);
+  EXPECT_EQ(a.fpp_files, b.fpp_files);
+  EXPECT_EQ(a.sequential_fraction, b.sequential_fraction);
+  EXPECT_EQ(a.size_frequencies, b.size_frequencies);
+}
+
+TEST(AnalyzerDeterminism, ProfileBitIdenticalAcrossJobCounts) {
+  for (const auto& entry : workloads::paper_workloads()) {
+    SCOPED_TRACE(entry.name);
+    runtime::Simulation sim(cluster::lassen(4));
+    auto out = workloads::run_with(sim, entry.make_test(),
+                                   advisor::RunConfig{},
+                                   analysis::Analyzer::Options{});
+    // Small chunk_rows so even test-scale traces span many chunks.
+    const std::size_t chunk_rows =
+        std::max<std::size_t>(1, sim.tracer().records().size() / 7);
+    analysis::Analyzer::Options o1;
+    o1.jobs = 1;
+    o1.chunk_rows = chunk_rows;
+    analysis::Analyzer::Options o8 = o1;
+    o8.jobs = 8;
+
+    const auto p1 = analysis::Analyzer(o1).analyze(sim.tracer());
+    const auto p8 = analysis::Analyzer(o8).analyze(sim.tracer());
+    expect_profiles_identical(p1, p8);
+
+    // And again to catch run-to-run scheduling nondeterminism.
+    const auto p8b = analysis::Analyzer(o8).analyze(sim.tracer());
+    expect_profiles_identical(p1, p8b);
+  }
+}
+
+TEST(AnalyzerDeterminism, OfflineLogBitIdenticalAcrossJobCounts) {
+  runtime::Simulation sim(cluster::lassen(4));
+  auto out = workloads::run_with(
+      sim, workloads::make_montage_mpi(workloads::MontageMpiParams::test()),
+      advisor::RunConfig{}, analysis::Analyzer::Options{});
+  const auto log = trace::snapshot(sim.tracer());
+  analysis::Analyzer::Options o1;
+  o1.jobs = 1;
+  o1.chunk_rows = 257;
+  analysis::Analyzer::Options o8 = o1;
+  o8.jobs = 8;
+  expect_profiles_identical(analysis::Analyzer(o1).analyze(log),
+                            analysis::Analyzer(o8).analyze(log));
+}
+
+// ---------------------------------------------------------- ScenarioRunner
+
+TEST(ScenarioRunner, ResultsInSubmissionOrder) {
+  std::vector<std::function<int()>> fns;
+  for (int i = 0; i < 32; ++i) fns.push_back([i] { return i * i; });
+  const auto out = runtime::ScenarioRunner(4).run<int>(fns);
+  ASSERT_EQ(out.size(), fns.size());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ScenarioRunner, ConcurrentTracesMatchSequentialRecordForRecord) {
+  // Each scenario owns its whole world (engine, cluster, filesystems,
+  // tracer) on the thread that runs it; its trace must be bit-identical to
+  // a sequential run of the same scenario.
+  auto trace_of = [](std::size_t workload_index) {
+    // paper_workloads() returns by value — copy the entry, don't bind a
+    // reference into the temporary vector.
+    const auto entry = workloads::paper_workloads()[workload_index];
+    const auto workload = entry.make_test();
+    runtime::Simulation sim(cluster::lassen(4));
+    if (workload.setup) {
+      sim.tracer().set_enabled(false);
+      sim.engine().spawn(workload.setup(sim));
+      sim.engine().run();
+      sim.tracer().set_enabled(true);
+      sim.pfs().drop_client_caches();
+    }
+    workload.launch(sim, advisor::RunConfig{});
+    sim.engine().run();
+    return sim.tracer().records();
+  };
+
+  const std::size_t n = workloads::paper_workloads().size();
+  std::vector<std::vector<trace::Record>> sequential;
+  for (std::size_t i = 0; i < n; ++i) sequential.push_back(trace_of(i));
+
+  std::vector<std::function<std::vector<trace::Record>()>> fns;
+  for (std::size_t i = 0; i < n; ++i) {
+    fns.push_back([&trace_of, i] { return trace_of(i); });
+  }
+  const auto concurrent =
+      runtime::ScenarioRunner(4).run<std::vector<trace::Record>>(fns);
+
+  ASSERT_EQ(concurrent.size(), sequential.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE(workloads::paper_workloads()[i].name);
+    ASSERT_EQ(concurrent[i].size(), sequential[i].size());
+    for (std::size_t r = 0; r < concurrent[i].size(); ++r) {
+      ASSERT_TRUE(concurrent[i][r] == sequential[i][r]) << "record " << r;
+    }
+  }
+}
+
+TEST(ScenarioRunner, RunManyMatchesIndividualRuns) {
+  std::vector<workloads::Scenario> scenarios;
+  for (int nodes : {2, 4}) {
+    scenarios.push_back({"hacc-" + std::to_string(nodes),
+                         cluster::lassen(nodes),
+                         [] {
+                           return workloads::make_hacc(
+                               workloads::HaccParams::test());
+                         },
+                         advisor::RunConfig{},
+                         analysis::Analyzer::Options{}});
+  }
+  const auto batch = workloads::run_many(scenarios, 2);
+  ASSERT_EQ(batch.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE(scenarios[i].name);
+    const auto solo = workloads::run(scenarios[i].spec, scenarios[i].make(),
+                                     scenarios[i].cfg,
+                                     scenarios[i].analyzer_opts);
+    EXPECT_EQ(batch[i].job_seconds, solo.job_seconds);
+    EXPECT_EQ(batch[i].engine_events, solo.engine_events);
+    expect_profiles_identical(batch[i].profile, solo.profile);
+  }
+}
+
+}  // namespace
+}  // namespace wasp

@@ -2,12 +2,13 @@
 // produced by wasp_run (or trace::write_log) and print the workload profile
 // summary; optionally emit figure-style panels.
 //
-//   wasp_analyze <trace.wtrc> [--phases] [--files N] [--hist]
+//   wasp_analyze <trace.wtrc> [--phases] [--files N] [--hist] [--jobs N]
 #include <algorithm>
 #include <iostream>
 
 #include "analysis/analyzer.hpp"
 #include "trace/log_io.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace wasp;
@@ -15,7 +16,7 @@ using namespace wasp;
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: wasp_analyze <trace.wtrc> [--phases] [--files N]"
-                 " [--hist]\n";
+                 " [--hist] [--jobs N]\n";
     return 2;
   }
   bool show_phases = false;
@@ -29,6 +30,8 @@ int main(int argc, char** argv) {
       show_hist = true;
     } else if (arg == "--files" && i + 1 < argc) {
       show_files = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      util::set_default_jobs(std::stoi(argv[++i]));
     }
   }
 

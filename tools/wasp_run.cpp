@@ -2,7 +2,7 @@
 // Recorder-style trace log, characterization YAML, and advisor report.
 //
 //   wasp_run <workload> [--nodes N] [--optimized] [--trace out.wtrc]
-//            [--yaml out.yaml] [--csv out.csv] [--test-scale]
+//            [--yaml out.yaml] [--csv out.csv] [--test-scale] [--jobs N]
 //
 // <workload> is one of: cm1 hacc cosmoflow jag montage-mpi montage-pegasus
 #include <cstring>
@@ -12,6 +12,7 @@
 
 #include "advisor/rules.hpp"
 #include "trace/log_io.hpp"
+#include "util/parallel.hpp"
 #include "workloads/registry.hpp"
 
 using namespace wasp;
@@ -29,7 +30,8 @@ void usage() {
          "  --trace FILE    write the Recorder-style binary trace log\n"
          "  --csv FILE      write the trace as CSV\n"
          "  --yaml FILE     write the characterization YAML"
-         " (default: stdout)\n";
+         " (default: stdout)\n"
+         "  --jobs N        worker threads for the analysis pipeline\n";
 }
 
 const std::map<std::string, std::size_t> kNames = {
@@ -79,6 +81,8 @@ int main(int argc, char** argv) {
       csv_out = next();
     } else if (arg == "--yaml") {
       yaml_out = next();
+    } else if (arg == "--jobs") {
+      util::set_default_jobs(std::stoi(next()));
     } else {
       usage();
       return 2;
