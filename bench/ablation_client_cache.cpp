@@ -2,26 +2,41 @@
 // bandwidth spikes (§IV-A.5: "600-1300MB/s ... because of some buffering
 // effects of the client nodes where data was written and immediately read").
 // With the cache disabled, the intermediate-file reuse spikes vanish and
-// I/O time grows.
+// I/O time grows. The cache toggle is runtime PFS state, so each cell sets
+// it through the Scenario prepare hook before the pipeline starts.
+#include <algorithm>
 #include <cstdio>
-#include <iostream>
 
-#include "util/table.hpp"
+#include "bench_util.hpp"
+#include "sweep.hpp"
 #include "workloads/montage_mpi.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
-  util::TablePrinter table("Ablation — GPFS client page cache (Montage MPI)");
-  table.set_header({"client cache", "job s", "io s", "cache hits",
-                    "peak read bw"});
+  const int jobs = benchutil::init_jobs(argc, argv);
 
-  for (bool cache : {true, false}) {
-    workloads::MontageMpiParams P = workloads::MontageMpiParams::paper();
-    runtime::Simulation sim(cluster::lassen(32));
-    sim.pfs().set_client_cache_enabled(cache);
-    auto out = workloads::run_with(sim, workloads::make_montage_mpi(P),
-                                   advisor::RunConfig{},
-                                   analysis::Analyzer::Options{});
+  struct Cell {
+    bool cache;
+  };
+  benchutil::Sweep<Cell> sweep;
+  sweep.title = "Ablation — GPFS client page cache (Montage MPI)";
+  sweep.header = {"client cache", "job s", "io s", "cache hits",
+                  "peak read bw"};
+  sweep.cells = {{true}, {false}};
+  sweep.scenario = [](const Cell& cell) {
+    workloads::Scenario s;
+    s.name = cell.cache ? "client-cache-on" : "client-cache-off";
+    s.spec = cluster::lassen(32);
+    s.make = [] {
+      return workloads::make_montage_mpi(
+          workloads::MontageMpiParams::paper());
+    };
+    s.prepare = [cache = cell.cache](runtime::Simulation& sim) {
+      sim.pfs().set_client_cache_enabled(cache);
+    };
+    return s;
+  };
+  sweep.row = [](const Cell& cell, const workloads::RunOutput& out) {
     double peak = 0;
     for (double v : out.profile.timeline.read_bps) peak = std::max(peak, v);
     char buf[32];
@@ -29,10 +44,11 @@ int main() {
     char buf2[32];
     std::snprintf(buf2, sizeof(buf2), "%.1f",
                   out.profile.io_time_fraction * out.job_seconds);
-    table.add_row({cache ? "enabled" : "disabled", buf, buf2,
-                   std::to_string(sim.pfs().counters().cache_hits),
-                   util::format_rate(peak)});
-  }
-  table.print(std::cout);
+    return std::vector<std::string>{
+        cell.cache ? "enabled" : "disabled", buf, buf2,
+        std::to_string(out.pfs_counters.cache_hits),
+        util::format_rate(peak)};
+  };
+  benchutil::run_sweep(sweep, jobs);
   return 0;
 }

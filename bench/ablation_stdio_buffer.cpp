@@ -1,10 +1,13 @@
 // Ablation: STDIO stream-buffer size on a small-transfer workload (the
-// knob the advisor's "stdio-buffer" rule turns, §IV-D.1 buffering).
+// knob the advisor's "stdio-buffer" rule turns, §IV-D.1 buffering). Each
+// buffer size is an independent simulation, fanned out cell-parallel by
+// the shared sweep driver; PFS data-op counts ride along in the
+// RunOutput's filesystem counters.
 #include <cstdio>
-#include <iostream>
 
+#include "bench_util.hpp"
 #include "io/stdio.hpp"
-#include "util/table.hpp"
+#include "sweep.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -25,29 +28,50 @@ sim::Task<void> rank_body(runtime::Simulation& sim, std::uint16_t app,
   co_await stdio.fclose(g);
 }
 
-}  // namespace
-
-int main() {
-  util::TablePrinter table(
-      "Ablation — STDIO buffer size (16 ranks x 16MiB in 512B user ops)");
-  table.set_header({"buffer", "job s", "PFS data ops", "effective bw"});
-
-  for (util::Bytes buffer : {util::kKiB, 4 * util::kKiB, 64 * util::kKiB,
-                             util::kMiB}) {
-    runtime::Simulation sim(cluster::lassen(4));
+workloads::Workload stdio_workload(util::Bytes buffer) {
+  workloads::Workload w;
+  w.decl.name = "stdio-buffer-ablation";
+  w.launch = [buffer](runtime::Simulation& sim, const advisor::RunConfig&) {
     const auto app = sim.tracer().register_app("ab");
     for (int r = 0; r < 16; ++r) {
       sim.engine().spawn(rank_body(sim, app, r, buffer));
     }
-    sim.engine().run();
-    const double sec = sim::to_seconds(sim.engine().now());
+  };
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = benchutil::init_jobs(argc, argv);
+
+  struct Cell {
+    util::Bytes buffer;
+  };
+  benchutil::Sweep<Cell> sweep;
+  sweep.title = "Ablation — STDIO buffer size (16 ranks x 16MiB in 512B user ops)";
+  sweep.header = {"buffer", "job s", "PFS data ops", "effective bw"};
+  for (util::Bytes buffer :
+       {util::kKiB, 4 * util::kKiB, 64 * util::kKiB, util::kMiB}) {
+    sweep.cells.push_back({buffer});
+  }
+  sweep.scenario = [](const Cell& cell) {
+    workloads::Scenario s;
+    s.name = "stdio-buf-" + util::format_bytes(cell.buffer);
+    s.spec = cluster::lassen(4);
+    s.make = [buffer = cell.buffer] { return stdio_workload(buffer); };
+    return s;
+  };
+  sweep.row = [](const Cell& cell, const workloads::RunOutput& out) {
+    const double sec = out.job_seconds;
     const double bytes = 2.0 * 16 * 16 * 1024 * 1024;
     char job[32];
     std::snprintf(job, sizeof(job), "%.2f", sec);
-    table.add_row({util::format_bytes(buffer), job,
-                   std::to_string(sim.pfs().counters().data_ops),
-                   util::format_rate(bytes / sec)});
-  }
-  table.print(std::cout);
+    return std::vector<std::string>{
+        util::format_bytes(cell.buffer), job,
+        std::to_string(out.pfs_counters.data_ops),
+        util::format_rate(bytes / sec)};
+  };
+  benchutil::run_sweep(sweep, jobs);
   return 0;
 }

@@ -3,20 +3,21 @@
 // stream can drive in parallel; under full-job contention the aggregate
 // capacity dominates and striping stops mattering — which is why the
 // advisor's stripe rule keys on per-file granularity, not on job scale.
-// Each (stripe size, stripe count) cell is an independent simulation, fanned
-// out over --jobs workers by the ScenarioRunner.
+// Each (stripe size, stripe count) cell is an independent simulation,
+// fanned out cell-parallel by the shared sweep driver.
 #include <cstdio>
-#include <iostream>
 
 #include "bench_util.hpp"
 #include "io/posix.hpp"
-#include "runtime/scenario_runner.hpp"
-#include "util/table.hpp"
+#include "sweep.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
 
 using namespace wasp;
+
+constexpr util::Bytes kTotal = 4 * util::kGiB;
+constexpr util::Bytes kTransfer = 64 * util::kMiB;
 
 sim::Task<void> lone_writer(runtime::Simulation& sim, std::uint16_t app,
                             util::Bytes total, util::Bytes transfer) {
@@ -28,48 +29,48 @@ sim::Task<void> lone_writer(runtime::Simulation& sim, std::uint16_t app,
   co_await posix.close(f);
 }
 
+workloads::Workload lone_writer_workload() {
+  workloads::Workload w;
+  w.decl.name = "stripe-ablation";
+  w.launch = [](runtime::Simulation& sim, const advisor::RunConfig&) {
+    const auto app = sim.tracer().register_app("w");
+    sim.engine().spawn(lone_writer(sim, app, kTotal, kTransfer));
+  };
+  return w;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int jobs = benchutil::init_jobs(argc, argv);
-  util::TablePrinter table(
-      "Ablation — striping for a single 4GiB writer (64MiB transfers)");
-  table.set_header({"stripe size", "stripe count", "write time",
-                    "effective bw"});
 
-  const util::Bytes total = 4 * util::kGiB;
   struct Cell {
     util::Bytes stripe;
     int count;
   };
-  std::vector<Cell> cells;
+  benchutil::Sweep<Cell> sweep;
+  sweep.title = "Ablation — striping for a single 4GiB writer (64MiB transfers)";
+  sweep.header = {"stripe size", "stripe count", "write time", "effective bw"};
   for (util::Bytes stripe : {util::kMiB, 16 * util::kMiB}) {
-    for (int count : {1, 2, 4, 8}) cells.push_back({stripe, count});
+    for (int count : {1, 2, 4, 8}) sweep.cells.push_back({stripe, count});
   }
-
-  std::vector<std::function<double()>> scenarios;
-  for (const Cell& cell : cells) {
-    scenarios.push_back([cell, total]() {
-      auto spec = cluster::lassen(4);
-      spec.pfs.stripe_size = cell.stripe;
-      spec.pfs.stripe_count = cell.count;
-      runtime::Simulation sim(spec);
-      const auto app = sim.tracer().register_app("w");
-      sim.engine().spawn(lone_writer(sim, app, total, 64 * util::kMiB));
-      sim.engine().run();
-      return sim::to_seconds(sim.engine().now());
-    });
-  }
-  const auto seconds = runtime::ScenarioRunner(jobs).run<double>(scenarios);
-
-  for (std::size_t i = 0; i < cells.size(); ++i) {
+  sweep.scenario = [](const Cell& cell) {
+    workloads::Scenario s;
+    s.name = "stripe-" + util::format_bytes(cell.stripe) + "-x" +
+             std::to_string(cell.count);
+    s.spec = cluster::lassen(4);
+    s.spec.pfs.stripe_size = cell.stripe;
+    s.spec.pfs.stripe_count = cell.count;
+    s.make = lone_writer_workload;
+    return s;
+  };
+  sweep.row = [](const Cell& cell, const workloads::RunOutput& out) {
     char t[32];
-    std::snprintf(t, sizeof(t), "%.2fs", seconds[i]);
-    table.add_row({util::format_bytes(cells[i].stripe),
-                   std::to_string(cells[i].count), t,
-                   util::format_rate(static_cast<double>(total) /
-                                     seconds[i])});
-  }
-  table.print(std::cout);
+    std::snprintf(t, sizeof(t), "%.2fs", out.job_seconds);
+    return std::vector<std::string>{
+        util::format_bytes(cell.stripe), std::to_string(cell.count), t,
+        util::format_rate(static_cast<double>(kTotal) / out.job_seconds)};
+  };
+  benchutil::run_sweep(sweep, jobs);
   return 0;
 }

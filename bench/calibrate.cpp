@@ -2,10 +2,18 @@
 // prints measured vs paper Table-I values plus simulator cost. Not one of
 // the paper's tables itself — this is the tool used to tune the Lassen
 // preset constants (see EXPERIMENTS.md for the resulting calibration).
+//
+// The six runs are independent, so they fan out through the ScenarioRunner
+// (--jobs N); only the scoreboard merge below stays serial, so every
+// simulated column is identical for every job count (only the wall-ms
+// column reflects the host).
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 
+#include "bench_util.hpp"
+#include "runtime/scenario_runner.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
 
@@ -30,24 +38,45 @@ constexpr PaperRow kPaper[] = {
     {"Montage Pegasus", 1038, 0.21, 32, 107, 5738, 0.65},
 };
 
+struct CalRun {
+  wasp::workloads::RunOutput out;
+  long wall_ms = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
+  const int jobs = benchutil::init_jobs(argc, argv);
   util::TablePrinter table("Calibration: measured vs paper (Table I)");
   table.set_header({"workload", "job s (paper)", "io% (paper)",
                     "write (paper)", "read (paper)", "#files (paper)",
                     "data-ops% (paper)", "events", "wall ms"});
 
-  auto entries = workloads::paper_workloads();
+  const auto entries = workloads::paper_workloads();
+  std::vector<std::function<CalRun()>> fns;
+  fns.reserve(entries.size());
+  for (const auto& e : entries) {
+    fns.push_back([&e] {
+      const auto t0 = std::chrono::steady_clock::now();
+      CalRun r;
+      r.out = workloads::run(cluster::lassen(32), e.make_paper());
+      r.wall_ms = static_cast<long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      return r;
+    });
+  }
+  std::cerr << "calibrating " << entries.size() << " workloads (" << jobs
+            << " jobs)...\n";
+  const auto runs = runtime::ScenarioRunner(jobs).run<CalRun>(fns);
+
+  // Serial scoreboard merge, in registry order.
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto& e = entries[i];
     const auto& p = kPaper[i];
-    const auto t0 = std::chrono::steady_clock::now();
-    auto out = workloads::run(cluster::lassen(32), e.make_paper());
-    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
+    const auto& out = runs[i].out;
     char buf[64];
     auto fmt = [&buf](double v, double paper) {
       std::snprintf(buf, sizeof(buf), "%.3g (%.3g)", v, paper);
@@ -65,7 +94,7 @@ int main() {
         fmt(out.profile.totals.data_op_fraction() * 100,
             p.data_ops_frac * 100),
         std::to_string(out.engine_events),
-        std::to_string(wall),
+        std::to_string(runs[i].wall_ms),
     });
     std::printf("%-16s meta-time %.0f%%  ops r/w/m %.3g/%.3g/%.3g M\n",
                 e.name.c_str(), out.profile.totals.meta_time_fraction() * 100,

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
                               cluster::lassen(nodes),
                               [P] { return workloads::make_montage_mpi(P); },
                               advisor::RunConfig{},
-                              analysis::Analyzer::Options{}});
+                              analysis::Analyzer::Options{},
+                              {}});
   }
   const auto bases = workloads::run_many(base_scenarios, jobs);
 
@@ -58,7 +59,8 @@ int main(int argc, char** argv) {
         {"montage-opt-" + std::to_string(nodes), cluster::lassen(nodes),
          [P] { return workloads::make_montage_mpi(P); },
          advisor::RuleEngine::configure(bases[i].recommendations),
-         analysis::Analyzer::Options{}});
+         analysis::Analyzer::Options{},
+                              {}});
   }
   const auto opts = workloads::run_many(opt_scenarios, jobs);
 

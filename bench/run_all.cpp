@@ -4,18 +4,25 @@
 // so every PR from here on records where the wall-clock went.
 //
 //   run_all [--jobs N] [--scale test|paper] [--out FILE]
+//           [--backend memory|spill] [--spill-dir DIR]
 //
 // --scale test (default) uses the reduced test parameters so the driver
 // finishes in seconds anywhere; --scale paper runs the full Table I scale.
+// --backend spill routes every pipeline and sweep through the spill-to-disk
+// trace store (bounded-memory analysis); each BENCH_results.json entry
+// records which backend produced it.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "advisor/rules.hpp"
+#include "analysis/spill_store.hpp"
 #include "bench_util.hpp"
 #include "workloads/cosmoflow.hpp"
 #include "workloads/montage_mpi.hpp"
@@ -32,6 +39,7 @@ double elapsed_sec(Clock::time_point t0) {
 
 struct WorkloadMetrics {
   std::string name;
+  std::string backend = "memory";
   double sim_seconds = 0.0;
   double analyze_seconds = 0.0;
   std::uint64_t engine_events = 0;
@@ -42,6 +50,7 @@ struct WorkloadMetrics {
 
 struct SweepMetrics {
   std::string name;
+  std::string backend = "memory";
   std::size_t scenarios = 0;
   double jobs1_seconds = 0.0;
   double jobsN_seconds = 0.0;
@@ -49,13 +58,27 @@ struct SweepMetrics {
 };
 
 /// The run_with() pipeline with a stopwatch between the simulate and
-/// analyze halves (RunOutput has no timing split).
+/// analyze halves (RunOutput has no timing split). With a spill policy the
+/// tracer flushes into a SpillColumnStore mid-run and analysis streams the
+/// spilled chunks; flush/finalize cost counts toward the analyze half.
 WorkloadMetrics measure_workload(const std::string& name,
                                  const cluster::ClusterSpec& spec,
-                                 const workloads::Workload& workload) {
+                                 const workloads::Workload& workload,
+                                 const runtime::SpillPolicy* policy) {
   WorkloadMetrics m;
   m.name = name;
   runtime::Simulation sim(spec);
+
+  std::unique_ptr<analysis::SpillColumnStore> store;
+  if (policy != nullptr) {
+    m.backend = "spill";
+    analysis::SpillColumnStore::Options so;
+    so.dir = policy->dir + "/" + name;
+    so.chunk_rows = policy->chunk_rows;
+    so.max_resident_chunks = policy->max_resident_chunks;
+    store = std::make_unique<analysis::SpillColumnStore>(so);
+    sim.tracer().set_sink(store.get(), policy->flush_rows);
+  }
 
   auto t0 = Clock::now();
   if (workload.setup) {
@@ -69,13 +92,22 @@ WorkloadMetrics measure_workload(const std::string& name,
   sim.engine().run();
   m.sim_seconds = elapsed_sec(t0);
   m.engine_events = sim.engine().events_processed();
-  m.trace_rows = sim.tracer().records().size();
+  m.trace_rows = sim.tracer().total_records();
 
   t0 = Clock::now();
   analysis::Analyzer analyzer;
-  const auto profile = analyzer.analyze(sim.tracer());
+  if (store != nullptr) {
+    sim.tracer().flush_sink();
+    sim.tracer().set_sink(nullptr);
+    store->finalize();
+    const auto profile =
+        analyzer.analyze(analysis::tracer_input(sim.tracer(), store.get()));
+    (void)profile;
+  } else {
+    const auto profile = analyzer.analyze(sim.tracer());
+    (void)profile;
+  }
   m.analyze_seconds = elapsed_sec(t0);
-  (void)profile;
 
   if (m.sim_seconds > 0) {
     m.events_per_sec =
@@ -102,7 +134,8 @@ std::vector<workloads::Scenario> cosmoflow_sweep(bool paper_scale) {
                          cluster::lassen(nodes),
                          [P] { return workloads::make_cosmoflow(P); },
                          advisor::RunConfig{},
-                         analysis::Analyzer::Options{}});
+                         analysis::Analyzer::Options{},
+                         {}});
   }
   return scenarios;
 }
@@ -126,7 +159,8 @@ std::vector<workloads::Scenario> montage_sweep(bool paper_scale) {
                          cluster::lassen(nodes),
                          [P] { return workloads::make_montage_mpi(P); },
                          advisor::RunConfig{},
-                         analysis::Analyzer::Options{}});
+                         analysis::Analyzer::Options{},
+                         {}});
   }
   return scenarios;
 }
@@ -144,22 +178,32 @@ std::vector<workloads::Scenario> stripe_sweep() {
                                workloads::MontageMpiParams::test());
                          },
                          advisor::RunConfig{},
-                         analysis::Analyzer::Options{}});
+                         analysis::Analyzer::Options{},
+                         {}});
   }
   return scenarios;
 }
 
 SweepMetrics measure_sweep(const std::string& name,
                            const std::vector<workloads::Scenario>& scenarios,
-                           int jobs) {
+                           int jobs, const runtime::SpillPolicy* policy) {
   SweepMetrics m;
   m.name = name;
   m.scenarios = scenarios.size();
+  runtime::ScenarioRunner runner1(1);
+  runtime::ScenarioRunner runnerN(jobs);
+  if (policy != nullptr) {
+    m.backend = "spill";
+    runtime::SpillPolicy p = *policy;
+    p.dir = policy->dir + "/" + name;
+    runner1.set_spill(p);
+    runnerN.set_spill(p);
+  }
   auto t0 = Clock::now();
-  (void)workloads::run_many(scenarios, 1);
+  (void)workloads::run_many(scenarios, runner1);
   m.jobs1_seconds = elapsed_sec(t0);
   t0 = Clock::now();
-  (void)workloads::run_many(scenarios, jobs);
+  (void)workloads::run_many(scenarios, runnerN);
   m.jobsN_seconds = elapsed_sec(t0);
   m.speedup = m.jobsN_seconds > 0 ? m.jobs1_seconds / m.jobsN_seconds : 0.0;
   return m;
@@ -177,24 +221,45 @@ int main(int argc, char** argv) {
   const int jobs = benchutil::init_jobs(argc, argv);
   bool paper_scale = false;
   std::string out_path = "BENCH_results.json";
+  std::string backend = "memory";
+  std::string spill_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale" && i + 1 < argc) {
       paper_scale = std::string(argv[++i]) == "paper";
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--backend" && i + 1 < argc) {
+      backend = argv[++i];
+    } else if (arg == "--spill-dir" && i + 1 < argc) {
+      spill_dir = argv[++i];
     }
+  }
+  if (backend != "memory" && backend != "spill") {
+    std::cerr << "unknown --backend (want memory|spill): " << backend << "\n";
+    return 2;
+  }
+  runtime::SpillPolicy spill_policy;
+  const runtime::SpillPolicy* policy = nullptr;
+  if (backend == "spill") {
+    spill_policy.dir =
+        spill_dir.empty()
+            ? (std::filesystem::temp_directory_path() / "wasp_runall_spill")
+                  .string()
+            : spill_dir;
+    policy = &spill_policy;
   }
 
   std::cerr << "run_all: scale=" << (paper_scale ? "paper" : "test")
-            << " jobs=" << jobs << "\n";
+            << " jobs=" << jobs << " backend=" << backend << "\n";
 
   std::vector<WorkloadMetrics> workload_metrics;
   for (const auto& e : workloads::paper_workloads()) {
     std::cerr << "  pipeline: " << e.name << "\n";
     const auto workload = paper_scale ? e.make_paper() : e.make_test();
     const auto spec = cluster::lassen(paper_scale ? 32 : 4);
-    workload_metrics.push_back(measure_workload(e.name, spec, workload));
+    workload_metrics.push_back(
+        measure_workload(e.name, spec, workload, policy));
   }
 
   std::vector<SweepMetrics> sweep_metrics;
@@ -208,7 +273,7 @@ int main(int argc, char** argv) {
   sweeps.push_back({"ablation_stripe_size", stripe_sweep()});
   for (auto& s : sweeps) {
     std::cerr << "  sweep: " << s.name << " (jobs 1 vs " << jobs << ")\n";
-    sweep_metrics.push_back(measure_sweep(s.name, s.scenarios, jobs));
+    sweep_metrics.push_back(measure_sweep(s.name, s.scenarios, jobs, policy));
   }
 
   std::ofstream os(out_path);
@@ -222,6 +287,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < workload_metrics.size(); ++i) {
     const auto& m = workload_metrics[i];
     os << "    {\"name\": \"" << m.name << "\", "
+       << "\"backend\": \"" << m.backend << "\", "
        << "\"sim_seconds\": " << json_num(m.sim_seconds) << ", "
        << "\"analyze_seconds\": " << json_num(m.analyze_seconds) << ", "
        << "\"engine_events\": " << m.engine_events << ", "
@@ -235,6 +301,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < sweep_metrics.size(); ++i) {
     const auto& m = sweep_metrics[i];
     os << "    {\"name\": \"" << m.name << "\", "
+       << "\"backend\": \"" << m.backend << "\", "
        << "\"scenarios\": " << m.scenarios << ", "
        << "\"jobs1_seconds\": " << json_num(m.jobs1_seconds) << ", "
        << "\"jobsN_seconds\": " << json_num(m.jobsN_seconds) << ", "

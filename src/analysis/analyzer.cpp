@@ -17,6 +17,11 @@
 // order. Integer aggregates are order-insensitive anyway; floating-point
 // sums get a fixed association order from the chunk-ordered merge, so the
 // profile is bit-identical at jobs=1 and jobs=N.
+//
+// All passes read the trace through a TraceStore Cursor, never through raw
+// vectors: the analysis chunking above is independent of the store's
+// storage chunking, so the in-memory and spill backends walk identical
+// value sequences and produce byte-identical profiles.
 
 namespace wasp::analysis {
 namespace {
@@ -33,7 +38,7 @@ struct ScopedFile {
   }
 };
 
-void add_op(OpsBreakdown& b, const ColumnStore& cs, std::size_t i) {
+void add_op(OpsBreakdown& b, Cursor& cs, std::size_t i) {
   const trace::Op op = cs.op(i);
   const auto n = static_cast<std::uint64_t>(cs.count(i));
   if (op == trace::Op::kRead) {
@@ -89,11 +94,13 @@ struct ChunkState {
 };
 
 /// The map step: one chunk's pass over its row range. Reads only the
-/// immutable ColumnStore plus value-copied lookup tables — no callbacks
-/// into lazily-built filesystem state (paths/sizes resolve post-merge).
-ChunkState scan_chunk(const ColumnStore& cs, const util::ChunkRange& range,
+/// immutable TraceStore (through its own cursor) plus value-copied lookup
+/// tables — no callbacks into lazily-built filesystem state (paths/sizes
+/// resolve post-merge).
+ChunkState scan_chunk(const TraceStore& store, const util::ChunkRange& range,
                       const std::vector<std::string>& app_names,
                       const std::vector<char>& fs_is_shared) {
+  Cursor cs(store);
   ChunkState st;
   st.read_iv.resize(st.read_hist.num_buckets());
   st.write_iv.resize(st.write_hist.num_buckets());
@@ -295,18 +302,27 @@ double Analyzer::union_seconds(
   return sim::to_seconds(covered);
 }
 
-WorkloadProfile Analyzer::analyze(const trace::Tracer& tracer) const {
+TraceInput tracer_input(const trace::Tracer& tracer, const TraceStore* store) {
   TraceInput input;
-  input.records = tracer.records();
+  if (store != nullptr) {
+    input.store = store;
+  } else {
+    input.records = tracer.records();
+  }
   for (std::size_t a = 0; a < tracer.num_apps(); ++a) {
     input.app_names.push_back(tracer.app_name(static_cast<std::uint16_t>(a)));
   }
-  input.path_at = [&tracer](std::size_t i) {
-    const auto& r = tracer.records()[i];
+  // Per-row resolution (serial, post-merge): fetch the record from the
+  // store when rows were spilled out of the tracer's buffer.
+  auto record_at = [&tracer, store](std::size_t i) {
+    return store != nullptr ? store->row(i) : tracer.records()[i];
+  };
+  input.path_at = [&tracer, record_at](std::size_t i) {
+    const trace::Record r = record_at(i);
     return tracer.path_of(r.file, r.node);
   };
-  input.size_at = [&tracer](std::size_t i) -> fs::Bytes {
-    const auto& r = tracer.records()[i];
+  input.size_at = [&tracer, record_at](std::size_t i) -> fs::Bytes {
+    const trace::Record r = record_at(i);
     if (!r.file.valid()) return 0;
     auto& fsys = tracer.filesystem(r.file.fs);
     auto& ns = fsys.ns(fs::ProcSite{fsys.shared() ? 0 : r.node, 0});
@@ -318,7 +334,11 @@ WorkloadProfile Analyzer::analyze(const trace::Tracer& tracer) const {
   input.fs_shared = [&tracer](std::int16_t idx) {
     return tracer.filesystem(idx).shared();
   };
-  return analyze(input);
+  return input;
+}
+
+WorkloadProfile Analyzer::analyze(const trace::Tracer& tracer) const {
+  return analyze(tracer_input(tracer));
 }
 
 WorkloadProfile Analyzer::analyze(const trace::LogData& log) const {
@@ -337,19 +357,30 @@ WorkloadProfile Analyzer::analyze(const trace::LogData& log) const {
 }
 
 WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
+  if (input.store != nullptr) return analyze_store(*input.store, input);
+  const int jobs = util::resolve_jobs(opts_.jobs);
+  ColumnStore cs = ColumnStore::from_records(input.records, jobs);
+  cs.set_chunk_rows(opts_.chunk_rows > 0 ? opts_.chunk_rows : 65536);
+  return analyze_store(cs, input);
+}
+
+WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
+                                        const TraceInput& input) const {
   WorkloadProfile p;
   const int jobs = util::resolve_jobs(opts_.jobs);
   const std::size_t grain = opts_.chunk_rows > 0 ? opts_.chunk_rows : 65536;
-  const ColumnStore cs = ColumnStore::from_records(input.records, jobs);
-  if (cs.empty()) return p;
+  if (store.size() == 0) return p;
   util::ThreadPool pool(jobs - 1);
 
   // Filesystem-shared lookup table, resolved up front on this thread: the
   // callback may touch lazily-built filesystem namespaces, which must not
   // happen concurrently from chunk workers.
   std::int16_t max_fs = -1;
-  for (std::size_t i = 0; i < cs.size(); ++i) {
-    max_fs = std::max(max_fs, cs.file(i).fs);
+  {
+    Cursor cs(store);
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      max_fs = std::max(max_fs, cs.file(i).fs);
+    }
   }
   std::vector<char> fs_is_shared(static_cast<std::size_t>(max_fs + 1), 1);
   for (std::int16_t f = 0; f <= max_fs; ++f) {
@@ -359,8 +390,8 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
 
   // --- Map: scan chunks in parallel -------------------------------------
   std::vector<ChunkState> parts = pool.map_chunks(
-      cs.size(), grain, [&](const util::ChunkRange& range) {
-        return scan_chunk(cs, range, input.app_names, fs_is_shared);
+      store.size(), grain, [&](const util::ChunkRange& range) {
+        return scan_chunk(store, range, input.app_names, fs_is_shared);
       });
 
   // --- Reduce: merge partials in chunk-index order ----------------------
@@ -569,11 +600,17 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
     std::vector<std::vector<Phase>> app_phases(by_app.size());
     pool.run(by_app.size(), [&](std::size_t a) {
       const std::uint16_t aid = by_app[a].first;
-      std::vector<std::size_t>& idx = *by_app[a].second;
-      std::sort(idx.begin(), idx.end(), [&cs](std::size_t x, std::size_t y) {
-        return cs.tstart(x) != cs.tstart(y) ? cs.tstart(x) < cs.tstart(y)
-                                            : x < y;
-      });
+      const std::vector<std::size_t>& idx = *by_app[a].second;
+      Cursor cs(store);
+      // Extract the sort keys in one sequential pass so the sort itself
+      // never touches the store — a comparator-driven sort over row indices
+      // would thrash a bounded spill cache. Sorting (tstart, row) pairs
+      // lexicographically is the exact permutation the previous
+      // tstart-then-index comparator produced.
+      std::vector<std::pair<sim::Time, std::size_t>> order;
+      order.reserve(idx.size());
+      for (const std::size_t i : idx) order.emplace_back(cs.tstart(i), i);
+      std::sort(order.begin(), order.end());
       std::vector<Phase>& out = app_phases[a];
       Phase cur;
       std::map<fs::Bytes, std::uint64_t> size_counts;
@@ -600,7 +637,8 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
         open = false;
       };
       sim::Time phase_end = 0;
-      for (std::size_t i : idx) {
+      for (const auto& [t_i, i] : order) {
+        (void)t_i;
         if (!open || cs.tstart(i) > phase_end + opts_.phase_gap) {
           flush();
           cur = Phase{};
@@ -664,7 +702,8 @@ WorkloadProfile Analyzer::analyze(const TraceInput& input) const {
     p.timeline.write_bps.assign(nbins, 0.0);
     using Bins = std::pair<std::vector<double>, std::vector<double>>;
     const std::vector<Bins> chunk_bins = pool.map_chunks(
-        cs.size(), grain, [&](const util::ChunkRange& range) {
+        store.size(), grain, [&](const util::ChunkRange& range) {
+          Cursor cs(store);
           Bins local{std::vector<double>(nbins, 0.0),
                      std::vector<double>(nbins, 0.0)};
           for (std::size_t i = range.begin; i < range.end; ++i) {

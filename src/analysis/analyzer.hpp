@@ -11,10 +11,15 @@
 
 namespace wasp::analysis {
 
-/// Uniform trace source for the analyzer: a live Tracer or a persisted
-/// LogData both reduce to this view.
+/// Uniform trace source for the analyzer: a live Tracer, a persisted
+/// LogData, or any TraceStore backend all reduce to this view.
 struct TraceInput {
+  /// Row-major records, transposed into an in-memory ColumnStore. Ignored
+  /// when `store` is set.
   std::span<const trace::Record> records;
+  /// Columnar backend to stream from directly (in-memory or spill); takes
+  /// precedence over `records`. Not owned — must outlive the analyze call.
+  const TraceStore* store = nullptr;
   std::vector<std::string> app_names;
   /// Resolved file path of record i ("" when file-less).
   std::function<std::string(std::size_t)> path_at;
@@ -23,6 +28,12 @@ struct TraceInput {
   /// Whether filesystem index shares one namespace across nodes.
   std::function<bool(std::int16_t)> fs_shared;
 };
+
+/// Build a TraceInput over a live tracer's registries. With `store` set (a
+/// spill store the tracer flushed into), rows resolve through the store
+/// instead of tracer.records(). The returned input borrows both arguments.
+TraceInput tracer_input(const trace::Tracer& tracer,
+                        const TraceStore* store = nullptr);
 
 class Analyzer {
  public:
@@ -67,6 +78,9 @@ class Analyzer {
   static double union_seconds(std::vector<std::pair<sim::Time, sim::Time>> iv);
 
  private:
+  WorkloadProfile analyze_store(const TraceStore& store,
+                                const TraceInput& input) const;
+
   Options opts_;
 };
 

@@ -1,5 +1,9 @@
 #include "analysis/column_store.hpp"
 
+#include <algorithm>
+
+#include "util/error.hpp"
+
 namespace wasp::analysis {
 
 ColumnStore ColumnStore::from_records(std::span<const trace::Record> records,
@@ -37,6 +41,27 @@ ColumnStore ColumnStore::from_records(std::span<const trace::Record> records,
     }
   });
   return cs;
+}
+
+ChunkHandle ColumnStore::chunk(std::size_t chunk_index) const {
+  const std::size_t base = chunk_index * chunk_rows_;
+  WASP_CHECK_MSG(base < size(), "chunk index out of range");
+  ChunkHandle h;  // pin stays null: views borrow the store's own columns
+  h.cols.base = base;
+  h.cols.rows = std::min(chunk_rows_, size() - base);
+  h.cols.app = app_.data() + base;
+  h.cols.rank = rank_.data() + base;
+  h.cols.node = node_.data() + base;
+  h.cols.iface = iface_.data() + base;
+  h.cols.op = op_.data() + base;
+  h.cols.fs = fs_.data() + base;
+  h.cols.file = file_.data() + base;
+  h.cols.offset = offset_.data() + base;
+  h.cols.size = size_.data() + base;
+  h.cols.count = count_.data() + base;
+  h.cols.tstart = tstart_.data() + base;
+  h.cols.tend = tend_.data() + base;
+  return h;
 }
 
 trace::Record ColumnStore::row(std::size_t i) const {

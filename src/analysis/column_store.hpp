@@ -10,12 +10,13 @@
 #include <span>
 #include <vector>
 
+#include "analysis/trace_store.hpp"
 #include "trace/record.hpp"
 #include "util/parallel.hpp"
 
 namespace wasp::analysis {
 
-class ColumnStore {
+class ColumnStore : public TraceStore {
  public:
   /// Transpose records into columns. With jobs > 1 the fill runs
   /// chunk-parallel over preallocated columns (each chunk writes a disjoint
@@ -23,8 +24,17 @@ class ColumnStore {
   static ColumnStore from_records(std::span<const trace::Record> records,
                                   int jobs = 1);
 
-  std::size_t size() const noexcept { return app_.size(); }
+  std::size_t size() const noexcept override { return app_.size(); }
   bool empty() const noexcept { return app_.empty(); }
+
+  /// Storage-chunk size of the TraceStore view. Purely a view property —
+  /// chunks are zero-copy slices of the contiguous columns, so any value
+  /// yields identical analysis results.
+  std::size_t chunk_rows() const noexcept override { return chunk_rows_; }
+  void set_chunk_rows(std::size_t rows) noexcept {
+    chunk_rows_ = rows > 0 ? rows : 1;
+  }
+  ChunkHandle chunk(std::size_t chunk_index) const override;
 
   // Column accessors.
   std::uint16_t app(std::size_t i) const { return app_[i]; }
@@ -85,6 +95,7 @@ class ColumnStore {
   }
 
  private:
+  std::size_t chunk_rows_ = 65536;
   std::vector<std::uint16_t> app_;
   std::vector<std::int32_t> rank_;
   std::vector<std::int32_t> node_;

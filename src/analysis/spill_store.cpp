@@ -1,0 +1,293 @@
+#include "analysis/spill_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace wasp::analysis {
+namespace {
+
+// Chunk file: magic, version, rows, flags (bit0 = aux columns present),
+// then the raw column arrays in declaration order.
+constexpr char kChunkMagic[8] = {'W', 'S', 'P', 'C', 'H', 'K', '0', '1'};
+constexpr std::uint64_t kChunkVersion = 1;
+constexpr std::uint64_t kFlagAux = 1;
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+template <typename T>
+void write_col(std::ofstream& os, const std::vector<T>& col) {
+  os.write(reinterpret_cast<const char*>(col.data()),
+           static_cast<std::streamsize>(col.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_col(std::ifstream& is, std::vector<T>& col, std::size_t rows) {
+  col.resize(rows);
+  is.read(reinterpret_cast<char*>(col.data()),
+          static_cast<std::streamsize>(rows * sizeof(T)));
+}
+
+}  // namespace
+
+SpillColumnStore::ChunkData::~ChunkData() {
+  if (residency) residency->resident.fetch_sub(1, std::memory_order_relaxed);
+}
+
+SpillColumnStore::SpillColumnStore(Options opts) : opts_(std::move(opts)) {
+  if (opts_.chunk_rows == 0) opts_.chunk_rows = 1;
+  if (opts_.max_resident_chunks == 0) opts_.max_resident_chunks = 1;
+  WASP_CHECK_MSG(!opts_.dir.empty(), "spill directory must be set");
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+  WASP_CHECK_MSG(!ec, "cannot create spill directory: " + opts_.dir);
+  residency_ = std::make_shared<Residency>();
+}
+
+SpillColumnStore::~SpillColumnStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    lru_.clear();
+  }
+  std::error_code ec;
+  for (std::size_t c = 0; c < chunks_written_; ++c) {
+    std::filesystem::remove(chunk_path(c), ec);
+  }
+  // Only removed when empty — a shared spill dir with other stores' files
+  // stays put.
+  std::filesystem::remove(opts_.dir, ec);
+}
+
+std::string SpillColumnStore::chunk_path(std::size_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "chunk_%06zu.wspc", index);
+  return opts_.dir + "/" + name;
+}
+
+void SpillColumnStore::push_row(const trace::Record& r) {
+  open_.app.push_back(r.app);
+  open_.rank.push_back(r.rank);
+  open_.node.push_back(r.node);
+  open_.iface.push_back(r.iface);
+  open_.op.push_back(r.op);
+  open_.fs.push_back(r.file.fs);
+  open_.file.push_back(r.file.file);
+  open_.offset.push_back(r.offset);
+  open_.size.push_back(r.size);
+  open_.count.push_back(r.count);
+  open_.tstart.push_back(r.tstart);
+  open_.tend.push_back(r.tend);
+}
+
+void SpillColumnStore::maybe_flush() {
+  if (open_.rows() >= opts_.chunk_rows) flush_open_chunk();
+}
+
+void SpillColumnStore::append(std::span<const trace::Record> records) {
+  WASP_CHECK_MSG(!finalized_, "append to finalized spill store");
+  WASP_CHECK_MSG(!aux_decided_ || !has_aux_,
+                 "mixing aux and non-aux appends on one spill store");
+  aux_decided_ = true;
+  for (const trace::Record& r : records) {
+    push_row(r);
+    maybe_flush();
+  }
+  total_rows_ += records.size();
+}
+
+void SpillColumnStore::append(std::span<const trace::Record> records,
+                              std::span<const std::uint32_t> path_idx,
+                              std::span<const std::uint64_t> file_sizes) {
+  WASP_CHECK_MSG(!finalized_, "append to finalized spill store");
+  WASP_CHECK_MSG(!aux_decided_ || has_aux_,
+                 "mixing aux and non-aux appends on one spill store");
+  WASP_CHECK_MSG(
+      records.size() == path_idx.size() && records.size() == file_sizes.size(),
+      "aux columns must parallel the record span");
+  aux_decided_ = true;
+  has_aux_ = true;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    push_row(records[i]);
+    open_.path_idx.push_back(path_idx[i]);
+    open_.file_size.push_back(file_sizes[i]);
+    maybe_flush();
+  }
+  total_rows_ += records.size();
+}
+
+void SpillColumnStore::finalize() {
+  WASP_CHECK_MSG(!finalized_, "finalize called twice");
+  flush_open_chunk();
+  finalized_ = true;
+}
+
+void SpillColumnStore::flush_open_chunk() {
+  const std::size_t rows = open_.rows();
+  if (rows == 0) return;
+  const std::string path = chunk_path(chunks_written_);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  WASP_CHECK_MSG(os.good(), "cannot open spill chunk for writing: " + path);
+  os.write(kChunkMagic, sizeof(kChunkMagic));
+  write_u64(os, kChunkVersion);
+  write_u64(os, rows);
+  write_u64(os, has_aux_ ? kFlagAux : 0);
+  write_col(os, open_.app);
+  write_col(os, open_.rank);
+  write_col(os, open_.node);
+  write_col(os, open_.iface);
+  write_col(os, open_.op);
+  write_col(os, open_.fs);
+  write_col(os, open_.file);
+  write_col(os, open_.offset);
+  write_col(os, open_.size);
+  write_col(os, open_.count);
+  write_col(os, open_.tstart);
+  write_col(os, open_.tend);
+  if (has_aux_) {
+    write_col(os, open_.path_idx);
+    write_col(os, open_.file_size);
+  }
+  os.flush();
+  WASP_CHECK_MSG(os.good(), "short write to spill chunk: " + path);
+  open_ = Columns{};
+  ++chunks_written_;
+}
+
+std::shared_ptr<const SpillColumnStore::ChunkData> SpillColumnStore::load_chunk(
+    std::size_t index) const {
+  const std::string path = chunk_path(index);
+  std::ifstream is(path, std::ios::binary);
+  WASP_CHECK_MSG(is.good(), "cannot open spill chunk: " + path);
+  char magic[sizeof(kChunkMagic)] = {};
+  is.read(magic, sizeof(magic));
+  WASP_CHECK_MSG(std::equal(magic, magic + sizeof(magic), kChunkMagic),
+                 "bad spill chunk magic: " + path);
+  WASP_CHECK_MSG(read_u64(is) == kChunkVersion,
+                 "unsupported spill chunk version: " + path);
+  const std::uint64_t rows64 = read_u64(is);
+  const std::uint64_t flags = read_u64(is);
+  const auto rows = static_cast<std::size_t>(rows64);
+  WASP_CHECK_MSG(rows > 0 && rows <= opts_.chunk_rows,
+                 "spill chunk row count out of range: " + path);
+  const bool aux = (flags & kFlagAux) != 0;
+  WASP_CHECK_MSG(aux == has_aux_, "spill chunk aux flag mismatch: " + path);
+
+  auto data = std::make_shared<ChunkData>();
+  data->residency = residency_;
+  Columns& c = data->cols;
+  read_col(is, c.app, rows);
+  read_col(is, c.rank, rows);
+  read_col(is, c.node, rows);
+  read_col(is, c.iface, rows);
+  read_col(is, c.op, rows);
+  read_col(is, c.fs, rows);
+  read_col(is, c.file, rows);
+  read_col(is, c.offset, rows);
+  read_col(is, c.size, rows);
+  read_col(is, c.count, rows);
+  read_col(is, c.tstart, rows);
+  read_col(is, c.tend, rows);
+  if (aux) {
+    read_col(is, c.path_idx, rows);
+    read_col(is, c.file_size, rows);
+  }
+  WASP_CHECK_MSG(is.good(), "truncated spill chunk: " + path);
+
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      residency_->resident.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t peak = residency_->peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !residency_->peak.compare_exchange_weak(peak, now,
+                                                 std::memory_order_relaxed)) {
+  }
+  return data;
+}
+
+ChunkColumns SpillColumnStore::view_of(const ChunkData& data,
+                                       std::size_t base) const {
+  const Columns& c = data.cols;
+  ChunkColumns v;
+  v.base = base;
+  v.rows = c.rows();
+  v.app = c.app.data();
+  v.rank = c.rank.data();
+  v.node = c.node.data();
+  v.iface = c.iface.data();
+  v.op = c.op.data();
+  v.fs = c.fs.data();
+  v.file = c.file.data();
+  v.offset = c.offset.data();
+  v.size = c.size.data();
+  v.count = c.count.data();
+  v.tstart = c.tstart.data();
+  v.tend = c.tend.data();
+  if (!c.path_idx.empty()) v.path_idx = c.path_idx.data();
+  if (!c.file_size.empty()) v.file_size = c.file_size.data();
+  return v;
+}
+
+ChunkHandle SpillColumnStore::chunk(std::size_t chunk_index) const {
+  WASP_CHECK_MSG(finalized_, "reading a spill store before finalize()");
+  WASP_CHECK_MSG(chunk_index < chunks_written_,
+                 "spill chunk index out of range");
+  std::shared_ptr<const ChunkData> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(chunk_index);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      data = it->second.first;
+    } else {
+      // Make room before loading so the cache never exceeds its cap.
+      while (cache_.size() >= opts_.max_resident_chunks && !lru_.empty()) {
+        const std::size_t victim = lru_.back();
+        lru_.pop_back();
+        cache_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      data = load_chunk(chunk_index);
+      lru_.push_front(chunk_index);
+      cache_.emplace(chunk_index, std::make_pair(data, lru_.begin()));
+    }
+  }
+  ChunkHandle h;
+  h.cols = view_of(*data, chunk_index * opts_.chunk_rows);
+  h.pin = std::shared_ptr<const void>(data, data.get());
+  return h;
+}
+
+std::uint32_t SpillColumnStore::path_idx_at(std::size_t i) const {
+  WASP_CHECK_MSG(has_aux_, "spill store carries no path column");
+  const ChunkHandle h = chunk(i / opts_.chunk_rows);
+  return h.cols.path_idx[i - h.cols.base];
+}
+
+fs::Bytes SpillColumnStore::file_size_at(std::size_t i) const {
+  WASP_CHECK_MSG(has_aux_, "spill store carries no file-size column");
+  const ChunkHandle h = chunk(i / opts_.chunk_rows);
+  return h.cols.file_size[i - h.cols.base];
+}
+
+std::size_t SpillColumnStore::resident_chunks() const noexcept {
+  return residency_->resident.load(std::memory_order_relaxed);
+}
+
+std::size_t SpillColumnStore::peak_resident_chunks() const noexcept {
+  return residency_->peak.load(std::memory_order_relaxed);
+}
+
+}  // namespace wasp::analysis

@@ -1,0 +1,140 @@
+// SpillColumnStore — the spill-to-disk TraceStore backend (the on-disk
+// parquet stand-in). Records append in trace order; every chunk_rows rows
+// the open chunk's columns are written to one versioned chunk file in the
+// spill directory and dropped from memory, so writing a trace of any length
+// holds at most one open chunk. Reads load chunk files on demand into a
+// bounded LRU cache of resident chunks.
+//
+// Memory bound: with K = max_resident_chunks and W concurrent cursors, at
+// most K cached + (W-1) pinned-but-evicted chunks are alive, i.e. resident
+// rows <= chunk_rows * (K + W - 1); single-cursor scans are bounded by
+// chunk_rows * K exactly. peak_resident_chunks() counts actual alive chunk
+// buffers (cached or pinned) so tests can assert the bound.
+//
+// The store doubles as a trace::RecordSink so a Tracer can flush closed
+// batches into it mid-run, and carries the offline log's auxiliary columns
+// (path-table index, end-of-run file size) when fed from a LogReader.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/trace_store.hpp"
+#include "trace/sink.hpp"
+
+namespace wasp::analysis {
+
+class SpillColumnStore final : public TraceStore, public trace::RecordSink {
+ public:
+  struct Options {
+    /// Spill directory; created on construction, chunk files are removed by
+    /// the destructor.
+    std::string dir;
+    std::size_t chunk_rows = 65536;
+    std::size_t max_resident_chunks = 8;
+  };
+
+  explicit SpillColumnStore(Options opts);
+  ~SpillColumnStore() override;
+  SpillColumnStore(const SpillColumnStore&) = delete;
+  SpillColumnStore& operator=(const SpillColumnStore&) = delete;
+
+  // --- Write side (single-threaded, before finalize) ----------------------
+  void append(std::span<const trace::Record> records) override;
+  /// Append with the offline log's auxiliary columns (parallel spans). A
+  /// store is either aux or non-aux for its whole life — the first append
+  /// decides, mixing is an error.
+  void append(std::span<const trace::Record> records,
+              std::span<const std::uint32_t> path_idx,
+              std::span<const std::uint64_t> file_sizes);
+  /// Flush the partial tail chunk and seal the store for reading. Required
+  /// before chunk()/row(); append() afterwards is an error.
+  void finalize();
+  bool finalized() const noexcept { return finalized_; }
+
+  // --- TraceStore ---------------------------------------------------------
+  std::size_t size() const noexcept override { return total_rows_; }
+  std::size_t chunk_rows() const noexcept override { return opts_.chunk_rows; }
+  ChunkHandle chunk(std::size_t chunk_index) const override;
+
+  // --- Auxiliary columns --------------------------------------------------
+  bool has_aux() const noexcept { return has_aux_; }
+  std::uint32_t path_idx_at(std::size_t i) const;
+  fs::Bytes file_size_at(std::size_t i) const;
+
+  // --- Observability ------------------------------------------------------
+  std::size_t resident_chunks() const noexcept;
+  std::size_t peak_resident_chunks() const noexcept;
+  std::uint64_t chunk_loads() const noexcept { return loads_.load(); }
+  std::uint64_t chunk_hits() const noexcept { return hits_.load(); }
+  std::uint64_t chunk_evictions() const noexcept { return evictions_.load(); }
+  std::size_t spilled_chunks() const noexcept { return chunks_written_; }
+  const Options& options() const noexcept { return opts_; }
+
+ private:
+  struct Columns {
+    std::vector<std::uint16_t> app;
+    std::vector<std::int32_t> rank;
+    std::vector<std::int32_t> node;
+    std::vector<trace::Iface> iface;
+    std::vector<trace::Op> op;
+    std::vector<std::int16_t> fs;
+    std::vector<fs::FileId> file;
+    std::vector<fs::Bytes> offset;
+    std::vector<fs::Bytes> size;
+    std::vector<std::uint32_t> count;
+    std::vector<sim::Time> tstart;
+    std::vector<sim::Time> tend;
+    std::vector<std::uint32_t> path_idx;   // aux, empty when absent
+    std::vector<std::uint64_t> file_size;  // aux, empty when absent
+    std::size_t rows() const noexcept { return app.size(); }
+  };
+
+  /// Alive-chunk accounting, shared with every loaded chunk so buffers that
+  /// outlive eviction (still pinned by a cursor) keep counting as resident.
+  struct Residency {
+    std::atomic<std::size_t> resident{0};
+    std::atomic<std::size_t> peak{0};
+  };
+
+  struct ChunkData {
+    Columns cols;
+    std::shared_ptr<Residency> residency;
+    ~ChunkData();
+  };
+
+  void push_row(const trace::Record& r);
+  void maybe_flush();
+  void flush_open_chunk();
+  std::string chunk_path(std::size_t index) const;
+  std::shared_ptr<const ChunkData> load_chunk(std::size_t index) const;
+  ChunkColumns view_of(const ChunkData& data, std::size_t base) const;
+
+  Options opts_;
+  bool has_aux_ = false;
+  bool aux_decided_ = false;
+  bool finalized_ = false;
+  std::size_t total_rows_ = 0;
+  std::size_t chunks_written_ = 0;
+  Columns open_;
+
+  std::shared_ptr<Residency> residency_;
+  mutable std::mutex mu_;
+  mutable std::list<std::size_t> lru_;  // front = most recently used
+  mutable std::unordered_map<
+      std::size_t, std::pair<std::shared_ptr<const ChunkData>,
+                             std::list<std::size_t>::iterator>>
+      cache_;
+  mutable std::atomic<std::uint64_t> loads_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace wasp::analysis

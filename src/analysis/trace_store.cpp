@@ -1,0 +1,31 @@
+#include "analysis/trace_store.hpp"
+
+namespace wasp::analysis {
+
+trace::Record TraceStore::row(std::size_t i) const {
+  const ChunkHandle h = chunk(i / chunk_rows());
+  const ChunkColumns& c = h.cols;
+  const std::size_t k = i - c.base;
+  trace::Record r;
+  r.app = c.app[k];
+  r.rank = c.rank[k];
+  r.node = c.node[k];
+  r.iface = c.iface[k];
+  r.op = c.op[k];
+  r.file = {c.fs[k], c.file[k]};
+  r.offset = c.offset[k];
+  r.size = c.size[k];
+  r.count = c.count[k];
+  r.tstart = c.tstart[k];
+  r.tend = c.tend[k];
+  return r;
+}
+
+void Cursor::seek(std::size_t i) {
+  // Drop the old pin before fetching: a bounded spill cache must never hold
+  // two chunks on this cursor's account.
+  handle_ = ChunkHandle{};
+  handle_ = store_->chunk(i / store_->chunk_rows());
+}
+
+}  // namespace wasp::analysis

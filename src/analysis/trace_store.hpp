@@ -1,0 +1,122 @@
+// TraceStore — backend abstraction over columnar trace storage, the seam
+// that turns the analyzer from an in-core library into a bounded-memory
+// pipeline. A store presents the trace as fixed-size columnar chunks (one
+// contiguous buffer per column, chunk c covering rows
+// [c*chunk_rows, min((c+1)*chunk_rows, size))), and a Cursor walks rows by
+// global index while pinning one chunk at a time.
+//
+// Two backends implement it: ColumnStore (in-memory; chunk views are
+// zero-copy slices of its columns) and SpillColumnStore (chunk files on
+// disk with a bounded LRU of resident chunks). Both serve bit-identical
+// column values through the same cursor, and the analyzer's map-reduce
+// chunking/merge order is independent of the storage chunking — so profiles
+// are byte-identical across backends and job counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "trace/record.hpp"
+
+namespace wasp::analysis {
+
+/// Borrowed columnar view of one storage chunk: rows [base, base + rows).
+/// Pointers index chunk-locally: column[i - base] for a global row i.
+struct ChunkColumns {
+  std::size_t base = 0;
+  std::size_t rows = 0;
+  const std::uint16_t* app = nullptr;
+  const std::int32_t* rank = nullptr;
+  const std::int32_t* node = nullptr;
+  const trace::Iface* iface = nullptr;
+  const trace::Op* op = nullptr;
+  const std::int16_t* fs = nullptr;
+  const fs::FileId* file = nullptr;
+  const fs::Bytes* offset = nullptr;
+  const fs::Bytes* size = nullptr;
+  const std::uint32_t* count = nullptr;
+  const sim::Time* tstart = nullptr;
+  const sim::Time* tend = nullptr;
+  // Auxiliary columns carried by offline logs; null when absent.
+  const std::uint32_t* path_idx = nullptr;
+  const std::uint64_t* file_size = nullptr;
+
+  bool contains(std::size_t i) const noexcept {
+    return i >= base && i - base < rows;
+  }
+};
+
+/// A pinned chunk: the view stays valid for as long as `pin` is held, even
+/// if the backend's cache evicts the chunk meanwhile. The in-memory backend
+/// leaves pin null (its buffers live as long as the store).
+struct ChunkHandle {
+  ChunkColumns cols;
+  std::shared_ptr<const void> pin;
+};
+
+class TraceStore {
+ public:
+  virtual ~TraceStore() = default;
+
+  virtual std::size_t size() const noexcept = 0;
+  /// Storage-chunk size in rows (>= 1). Purely a storage property: analysis
+  /// results do not depend on it.
+  virtual std::size_t chunk_rows() const noexcept = 0;
+  /// Fetch storage chunk `chunk_index`. Thread-safe: concurrent cursors may
+  /// fetch chunks from worker threads.
+  virtual ChunkHandle chunk(std::size_t chunk_index) const = 0;
+
+  std::size_t num_chunks() const noexcept {
+    const std::size_t n = size();
+    return n == 0 ? 0 : (n - 1) / chunk_rows() + 1;
+  }
+
+  /// Reconstruct one row (serial post-merge resolution, tests, CSV export).
+  trace::Record row(std::size_t i) const;
+};
+
+/// Row-indexed access over a TraceStore, caching the chunk that served the
+/// last access — sequential scans fetch each chunk exactly once. Construct
+/// one Cursor per thread; the cursor itself is not thread-safe (the store
+/// is). Accessor names mirror ColumnStore's so scan code reads the same.
+class Cursor {
+ public:
+  explicit Cursor(const TraceStore& store) : store_(&store) {}
+
+  std::uint16_t app(std::size_t i) { const auto& c = at(i); return c.app[i - c.base]; }
+  std::int32_t rank(std::size_t i) { const auto& c = at(i); return c.rank[i - c.base]; }
+  std::int32_t node(std::size_t i) { const auto& c = at(i); return c.node[i - c.base]; }
+  trace::Iface iface(std::size_t i) { const auto& c = at(i); return c.iface[i - c.base]; }
+  trace::Op op(std::size_t i) { const auto& c = at(i); return c.op[i - c.base]; }
+  trace::FileKey file(std::size_t i) {
+    const auto& c = at(i);
+    return {c.fs[i - c.base], c.file[i - c.base]};
+  }
+  fs::Bytes offset(std::size_t i) { const auto& c = at(i); return c.offset[i - c.base]; }
+  fs::Bytes size_col(std::size_t i) { const auto& c = at(i); return c.size[i - c.base]; }
+  std::uint32_t count(std::size_t i) { const auto& c = at(i); return c.count[i - c.base]; }
+  sim::Time tstart(std::size_t i) { const auto& c = at(i); return c.tstart[i - c.base]; }
+  sim::Time tend(std::size_t i) { const auto& c = at(i); return c.tend[i - c.base]; }
+
+  fs::Bytes total_bytes(std::size_t i) {
+    const auto& c = at(i);
+    return c.size[i - c.base] * static_cast<fs::Bytes>(c.count[i - c.base]);
+  }
+  double duration_sec(std::size_t i) {
+    const auto& c = at(i);
+    return sim::to_seconds(c.tend[i - c.base] - c.tstart[i - c.base]);
+  }
+
+ private:
+  const ChunkColumns& at(std::size_t i) {
+    if (!handle_.cols.contains(i)) seek(i);
+    return handle_.cols;
+  }
+  void seek(std::size_t i);
+
+  const TraceStore* store_;
+  ChunkHandle handle_{};
+};
+
+}  // namespace wasp::analysis

@@ -1,5 +1,6 @@
 #include "trace/log_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <unordered_map>
@@ -159,42 +160,84 @@ void write_log(const std::string& filename, const Tracer& tracer) {
   WASP_CHECK_MSG(os.good(), "short write to trace log: " + filename);
 }
 
-LogData read_log(const std::string& filename) {
-  std::ifstream is(filename, std::ios::binary);
-  WASP_CHECK_MSG(is.good(), "cannot open trace log: " + filename);
+LogReader::LogReader(const std::string& filename)
+    : filename_(filename), is_(filename, std::ios::binary) {
+  WASP_CHECK_MSG(is_.good(), "cannot open trace log: " + filename);
   char magic[8];
-  is.read(magic, sizeof(magic));
-  WASP_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 8) == 0,
+  is_.read(magic, sizeof(magic));
+  WASP_CHECK_MSG(is_.good() && std::memcmp(magic, kMagic, 8) == 0,
                  "not a WASP trace log: " + filename);
 
-  LogData data;
-  const std::uint64_t napps = get_u64(is);
+  const std::uint64_t napps = get_u64(is_);
   for (std::uint64_t i = 0; i < napps; ++i) {
-    data.apps.push_back(get_string(is));
+    header_.apps.push_back(get_string(is_));
   }
-  const std::uint64_t nfs = get_u64(is);
+  const std::uint64_t nfs = get_u64(is_);
   for (std::uint64_t i = 0; i < nfs; ++i) {
-    data.fs_names.push_back(get_string(is));
-    data.fs_shared.push_back(get_u64(is) != 0);
+    header_.fs_names.push_back(get_string(is_));
+    header_.fs_shared.push_back(get_u64(is_) != 0);
   }
-  std::vector<std::string> path_table;
-  const std::uint64_t npaths = get_u64(is);
+  const std::uint64_t npaths = get_u64(is_);
   for (std::uint64_t i = 0; i < npaths; ++i) {
-    path_table.push_back(get_string(is));
+    header_.path_table.push_back(get_string(is_));
   }
-  const std::uint64_t nrecords = get_u64(is);
-  data.records.reserve(nrecords);
-  data.paths.reserve(nrecords);
-  for (std::uint64_t i = 0; i < nrecords; ++i) {
+  header_.num_records = get_u64(is_);
+
+  // Validate the declared count against what the file actually holds, so a
+  // truncated or corrupt header fails here instead of driving a huge
+  // reserve downstream.
+  const std::streamoff data_pos = is_.tellg();
+  is_.seekg(0, std::ios::end);
+  const std::streamoff end_pos = is_.tellg();
+  is_.seekg(data_pos);
+  WASP_CHECK_MSG(is_.good() && end_pos >= data_pos,
+                 "cannot size trace log: " + filename);
+  const auto avail = static_cast<std::uint64_t>(end_pos - data_pos);
+  WASP_CHECK_MSG(header_.num_records <= avail / sizeof(Row),
+                 "trace log declares more records than the file holds: " +
+                     filename);
+  remaining_ = header_.num_records;
+}
+
+std::size_t LogReader::next_chunk(std::size_t max_rows,
+                                  std::vector<Record>& records,
+                                  std::vector<std::uint32_t>& path_idx,
+                                  std::vector<std::uint64_t>& file_sizes) {
+  const auto n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(max_rows, remaining_));
+  for (std::size_t i = 0; i < n; ++i) {
     Row row;
-    is.read(reinterpret_cast<char*>(&row), sizeof(row));
-    WASP_CHECK_MSG(is.good(), "truncated trace log: " + filename);
-    WASP_CHECK_MSG(row.path_idx < path_table.size() || path_table.empty(),
-                   "bad path index in trace log");
-    data.records.push_back(from_row(row));
-    data.paths.push_back(path_table.empty() ? ""
-                                            : path_table[row.path_idx]);
-    data.file_sizes.push_back(row.file_size);
+    is_.read(reinterpret_cast<char*>(&row), sizeof(row));
+    WASP_CHECK_MSG(is_.good(), "truncated trace log: " + filename_);
+    WASP_CHECK_MSG(
+        row.path_idx < header_.path_table.size() || header_.path_table.empty(),
+        "bad path index in trace log");
+    records.push_back(from_row(row));
+    path_idx.push_back(row.path_idx);
+    file_sizes.push_back(row.file_size);
+  }
+  remaining_ -= n;
+  return n;
+}
+
+LogData read_log(const std::string& filename) {
+  LogReader reader(filename);
+  const LogHeader& h = reader.header();
+  LogData data;
+  data.apps = h.apps;
+  data.fs_names = h.fs_names;
+  data.fs_shared = h.fs_shared;
+  const auto n = static_cast<std::size_t>(h.num_records);
+  data.records.reserve(n);
+  data.paths.reserve(n);
+  data.file_sizes.reserve(n);
+  std::vector<std::uint32_t> path_idx;
+  path_idx.reserve(n);
+  while (reader.next_chunk(1u << 16, data.records, path_idx,
+                           data.file_sizes) > 0) {
+  }
+  for (const std::uint32_t pi : path_idx) {
+    data.paths.push_back(h.path_table.empty() ? "" : h.path_table[pi]);
   }
   return data;
 }

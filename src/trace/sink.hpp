@@ -1,0 +1,21 @@
+// Destination for closed batches of trace records. The tracer only knows
+// this interface; concrete sinks (e.g. analysis::SpillColumnStore) live in
+// higher layers, so trace/ never depends on analysis/.
+#pragma once
+
+#include <span>
+
+#include "trace/record.hpp"
+
+namespace wasp::trace {
+
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  /// Accept a batch of records in trace order. Called from the simulation
+  /// thread that owns the tracer; implementations need not be thread-safe
+  /// across concurrent appends.
+  virtual void append(std::span<const Record> records) = 0;
+};
+
+}  // namespace wasp::trace

@@ -11,6 +11,7 @@
 
 #include "fs/filesystem.hpp"
 #include "trace/record.hpp"
+#include "trace/sink.hpp"
 
 namespace wasp::trace {
 
@@ -28,11 +29,32 @@ class Tracer {
   std::size_t num_apps() const noexcept { return apps_.size(); }
 
   void add(const Record& r) {
-    if (suppression_ == 0 && enabled_) records_.push_back(r);
+    if (suppression_ != 0 || !enabled_) return;
+    records_.push_back(r);
+    if (sink_ != nullptr && records_.size() >= sink_flush_rows_) flush_sink();
+  }
+
+  /// Attach a sink that receives closed batches of records: whenever at
+  /// least `flush_rows` records are buffered, they are flushed to the sink
+  /// and dropped from memory, bounding tracer memory for long runs.
+  /// records() then holds only the un-flushed tail; use total_records() for
+  /// the full count and flush_sink() to push the tail before analyzing the
+  /// sink's store. Pass nullptr to detach.
+  void set_sink(RecordSink* sink, std::size_t flush_rows = 1u << 20);
+  /// Push all buffered records to the sink (no-op without one).
+  void flush_sink();
+  /// Records handed to the sink so far.
+  std::uint64_t spilled_records() const noexcept { return spilled_; }
+  /// Records observed in total: spilled plus still buffered.
+  std::uint64_t total_records() const noexcept {
+    return spilled_ + records_.size();
   }
 
   const std::vector<Record>& records() const noexcept { return records_; }
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    spilled_ = 0;
+  }
   void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
   bool enabled() const noexcept { return enabled_; }
 
@@ -59,6 +81,9 @@ class Tracer {
   std::vector<fs::FileSystemSim*> filesystems_;
   std::vector<std::string> apps_;
   std::vector<Record> records_;
+  RecordSink* sink_ = nullptr;
+  std::size_t sink_flush_rows_ = 0;
+  std::uint64_t spilled_ = 0;
   int suppression_ = 0;
   bool enabled_ = true;
 };

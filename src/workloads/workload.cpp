@@ -1,15 +1,15 @@
 #include "workloads/workload.hpp"
 
-#include "runtime/scenario_runner.hpp"
+#include "analysis/spill_store.hpp"
 #include "util/error.hpp"
 
 namespace wasp::workloads {
+namespace {
 
-RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
-                   const advisor::RunConfig& cfg,
-                   const analysis::Analyzer::Options& analyzer_opts) {
+/// Simulate: untraced setup, then the traced job until all roots finish.
+void execute(runtime::Simulation& sim, const Workload& workload,
+             const advisor::RunConfig& cfg) {
   WASP_CHECK_MSG(static_cast<bool>(workload.launch), "workload has no launch");
-
   if (workload.setup) {
     sim.tracer().set_enabled(false);
     sim.engine().spawn(workload.setup(sim));
@@ -17,15 +17,17 @@ RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
     sim.tracer().set_enabled(true);
     sim.pfs().drop_client_caches();
   }
-
   workload.launch(sim, cfg);
   sim.engine().run();
   WASP_CHECK_MSG(sim.engine().all_roots_done(),
                  "workload deadlocked (roots not done)");
+}
 
+/// Characterize + recommend from an already-computed profile.
+RunOutput finish(runtime::Simulation& sim, const Workload& workload,
+                 analysis::WorkloadProfile profile) {
   RunOutput out;
-  analysis::Analyzer analyzer(analyzer_opts);
-  out.profile = analyzer.analyze(sim.tracer());
+  out.profile = std::move(profile);
   charz::Characterizer characterizer;
   out.characterization =
       characterizer.characterize(workload.decl, sim.spec(), out.profile);
@@ -33,7 +35,41 @@ RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
   out.recommendations = rules.evaluate(out.characterization);
   out.job_seconds = out.profile.job_runtime_sec;
   out.engine_events = sim.engine().events_processed();
+  out.pfs_counters = sim.pfs().counters();
   return out;
+}
+
+}  // namespace
+
+RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
+                   const advisor::RunConfig& cfg,
+                   const analysis::Analyzer::Options& analyzer_opts) {
+  execute(sim, workload, cfg);
+  analysis::Analyzer analyzer(analyzer_opts);
+  return finish(sim, workload, analyzer.analyze(sim.tracer()));
+}
+
+RunOutput run_spilled(runtime::Simulation& sim, const Workload& workload,
+                      const advisor::RunConfig& cfg,
+                      const analysis::Analyzer::Options& analyzer_opts,
+                      const runtime::SpillPolicy& policy,
+                      const std::string& name) {
+  analysis::SpillColumnStore::Options store_opts;
+  store_opts.dir = policy.dir.empty() ? name + ".spill"
+                                      : policy.dir + "/" + name;
+  store_opts.chunk_rows = policy.chunk_rows;
+  store_opts.max_resident_chunks = policy.max_resident_chunks;
+  analysis::SpillColumnStore store(store_opts);
+
+  sim.tracer().set_sink(&store, policy.flush_rows);
+  execute(sim, workload, cfg);
+  sim.tracer().flush_sink();
+  sim.tracer().set_sink(nullptr);
+  store.finalize();
+
+  analysis::Analyzer analyzer(analyzer_opts);
+  return finish(sim, workload,
+                analyzer.analyze(analysis::tracer_input(sim.tracer(), &store)));
 }
 
 RunOutput run(const cluster::ClusterSpec& spec, const Workload& workload,
@@ -45,16 +81,27 @@ RunOutput run(const cluster::ClusterSpec& spec, const Workload& workload,
 
 std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
                                 int jobs) {
+  return run_many(scenarios, runtime::ScenarioRunner(jobs));
+}
+
+std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
+                                const runtime::ScenarioRunner& runner) {
   std::vector<std::function<RunOutput()>> fns;
   fns.reserve(scenarios.size());
   for (const Scenario& s : scenarios) {
     WASP_CHECK_MSG(static_cast<bool>(s.make),
                    "scenario has no workload factory: " + s.name);
-    fns.push_back([&s] {
-      return run(s.spec, s.make(), s.cfg, s.analyzer_opts);
+    fns.push_back([&s, &runner] {
+      runtime::Simulation sim(s.spec);
+      if (s.prepare) s.prepare(sim);
+      if (runner.spill().has_value()) {
+        return run_spilled(sim, s.make(), s.cfg, s.analyzer_opts,
+                           *runner.spill(), s.name);
+      }
+      return run_with(sim, s.make(), s.cfg, s.analyzer_opts);
     });
   }
-  return runtime::ScenarioRunner(jobs).run<RunOutput>(fns);
+  return runner.run<RunOutput>(fns);
 }
 
 }  // namespace wasp::workloads

@@ -14,6 +14,7 @@
 #include "analysis/analyzer.hpp"
 #include "cluster/spec.hpp"
 #include "core/characterizer.hpp"
+#include "runtime/scenario_runner.hpp"
 #include "runtime/simulation.hpp"
 
 namespace wasp::workloads {
@@ -33,6 +34,10 @@ struct RunOutput {
   /// Wall time of the job in simulated seconds (== profile.job_runtime_sec).
   double job_seconds = 0.0;
   std::uint64_t engine_events = 0;
+  /// End-of-run PFS counters (meta/data ops, bytes, cache hits) — lets
+  /// sweep drivers report storage-side effects without keeping the
+  /// Simulation alive.
+  fs::FsCounters pfs_counters;
 };
 
 /// Execute the full pipeline on a fresh Simulation.
@@ -47,6 +52,17 @@ RunOutput run_with(runtime::Simulation& sim, const Workload& workload,
                    const advisor::RunConfig& cfg,
                    const analysis::Analyzer::Options& analyzer_opts);
 
+/// run_with() with the trace spilled to disk: the tracer flushes closed
+/// record batches into a SpillColumnStore under policy.dir/<name> mid-run,
+/// and analysis streams over the spilled chunks with a bounded resident
+/// set. The profile is byte-identical to run_with()'s. Chunk files are
+/// removed before returning.
+RunOutput run_spilled(runtime::Simulation& sim, const Workload& workload,
+                      const advisor::RunConfig& cfg,
+                      const analysis::Analyzer::Options& analyzer_opts,
+                      const runtime::SpillPolicy& policy,
+                      const std::string& name);
+
 /// A named, self-contained run request for batch execution. The workload
 /// factory is invoked on the worker thread that runs the scenario, so the
 /// Workload and the entire simulation world it launches into (engine,
@@ -57,6 +73,10 @@ struct Scenario {
   std::function<Workload()> make;
   advisor::RunConfig cfg;
   analysis::Analyzer::Options analyzer_opts;
+  /// Optional hook run on the fresh Simulation before the pipeline starts —
+  /// for runtime state the ClusterSpec can't express (e.g. toggling the
+  /// PFS client cache). Runs on the scenario's worker thread.
+  std::function<void(runtime::Simulation&)> prepare;
 };
 
 /// Run independent scenarios concurrently via runtime::ScenarioRunner
@@ -64,5 +84,10 @@ struct Scenario {
 /// bit-identical to running each scenario sequentially.
 std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
                                 int jobs = 0);
+
+/// run_many() on a caller-configured runner; honors the runner's
+/// SpillPolicy (each scenario spills under policy.dir/<scenario name>).
+std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
+                                const runtime::ScenarioRunner& runner);
 
 }  // namespace wasp::workloads

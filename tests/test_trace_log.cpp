@@ -131,5 +131,72 @@ TEST(TraceLog, MissingFileThrows) {
   EXPECT_THROW(read_log("/nonexistent/dir/x.wtrc"), util::SimError);
 }
 
+TEST(TraceLog, RejectsOverstatedRecordCount) {
+  // A structurally valid header whose declared record count exceeds what
+  // the file can possibly hold must fail at header validation — before any
+  // reserve() of the bogus count.
+  const std::string path = temp_path("overstated.wtrc");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write("WASPTRC2", 8);
+    const std::uint64_t zero = 0;
+    os.write(reinterpret_cast<const char*>(&zero), 8);  // napps
+    os.write(reinterpret_cast<const char*>(&zero), 8);  // nfs
+    os.write(reinterpret_cast<const char*>(&zero), 8);  // npaths
+    const std::uint64_t huge = 1000000000000000ull;
+    os.write(reinterpret_cast<const char*>(&huge), 8);  // nrecords
+  }
+  EXPECT_THROW(read_log(path), util::SimError);
+  EXPECT_THROW(LogReader{path}, util::SimError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLog, RejectsRowSectionShorterThanDeclared) {
+  // Chop exactly one row off a valid log: the header still parses, but the
+  // count-vs-size check must reject it at open time.
+  Simulation sim(cluster::tiny(2));
+  populate(sim);
+  const std::string path = temp_path("shortrows.wtrc");
+  write_log(path, sim.tracer());
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string content = buf.str();
+  is.close();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(content.data(), static_cast<std::streamsize>(content.size() - 4));
+  }
+  EXPECT_THROW(LogReader{path}, util::SimError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLog, LogReaderStreamsSameRowsAsReadLog) {
+  Simulation sim(cluster::tiny(2));
+  populate(sim);
+  const std::string path = temp_path("stream.wtrc");
+  write_log(path, sim.tracer());
+  const LogData data = read_log(path);
+
+  LogReader reader(path);
+  EXPECT_EQ(reader.header().num_records, data.records.size());
+  EXPECT_EQ(reader.remaining(), data.records.size());
+  std::vector<Record> records;
+  std::vector<std::uint32_t> path_idx;
+  std::vector<std::uint64_t> file_sizes;
+  while (reader.next_chunk(7, records, path_idx, file_sizes) > 0) {
+  }
+  EXPECT_EQ(reader.remaining(), 0u);
+  ASSERT_EQ(records.size(), data.records.size());
+  ASSERT_EQ(path_idx.size(), records.size());
+  ASSERT_EQ(file_sizes.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ASSERT_TRUE(records[i] == data.records[i]) << "record " << i;
+    EXPECT_EQ(reader.header().path_table[path_idx[i]], data.paths[i]);
+    EXPECT_EQ(file_sizes[i], data.file_sizes[i]);
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace wasp::trace

@@ -1,0 +1,293 @@
+// TraceStore backend contract: the spill-to-disk columnar store must serve
+// the exact bytes the in-memory store serves — profiles byte-identical at
+// every job count — while keeping the resident set bounded by
+// chunk_rows * max_resident_chunks (plus one pinned chunk per extra
+// concurrent cursor).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/spill_store.hpp"
+#include "profile_test_util.hpp"
+#include "trace/log_io.hpp"
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace wasp {
+namespace {
+
+using testutil::expect_profiles_identical;
+
+std::string spill_dir(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Simulate a test-scale Montage run (multi-app, shared + fpp files) and
+/// leave the trace in the Simulation's tracer.
+void populate(runtime::Simulation& sim) {
+  workloads::run_with(
+      sim, workloads::make_montage_mpi(workloads::MontageMpiParams::test()),
+      advisor::RunConfig{}, analysis::Analyzer::Options{});
+}
+
+/// Deterministic synthetic trace — big enough to span many chunks, with
+/// every column varying so a transposition bug can't hide.
+std::vector<trace::Record> synthetic_records(std::size_t n) {
+  std::vector<trace::Record> records(n);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& r = records[i];
+    r.app = static_cast<std::uint16_t>(next() % 5);
+    r.rank = static_cast<std::int32_t>(next() % 64);
+    r.node = static_cast<std::int32_t>(next() % 8);
+    r.iface = static_cast<trace::Iface>(next() % 3);
+    r.op = static_cast<trace::Op>(next() % 8);
+    r.file = {static_cast<std::int16_t>(next() % 2),
+              static_cast<fs::FileId>(next() % 97)};
+    r.offset = next() % (1ull << 40);
+    r.size = next() % (1ull << 22);
+    r.count = static_cast<std::uint32_t>(next() % 1000);
+    r.tstart = next() % (1ull << 50);
+    r.tend = r.tstart + next() % (1ull << 30);
+  }
+  return records;
+}
+
+TEST(SpillStore, RoundTripsRowsThroughChunkFiles) {
+  const auto records = synthetic_records(10007);
+
+  analysis::SpillColumnStore store(
+      {.dir = spill_dir("roundtrip.spill"),
+       .chunk_rows = 100,
+       .max_resident_chunks = 2});
+  // Odd-sized appends so batch boundaries never line up with chunks.
+  std::size_t pos = 0, batch = 1;
+  while (pos < records.size()) {
+    const std::size_t n = std::min(batch, records.size() - pos);
+    store.append(std::span<const trace::Record>(records.data() + pos, n));
+    pos += n;
+    batch = batch % 7 + 1;
+  }
+  store.finalize();
+
+  ASSERT_EQ(store.size(), records.size());
+  EXPECT_EQ(store.spilled_chunks(), (records.size() - 1) / 100 + 1);
+  EXPECT_EQ(store.num_chunks(), store.spilled_chunks());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ASSERT_TRUE(store.row(i) == records[i]) << "row " << i;
+  }
+  // A full sequential scan through row() keeps residency at the cap.
+  EXPECT_LE(store.peak_resident_chunks(), 2u);
+  EXPECT_GT(store.chunk_evictions(), 0u);
+}
+
+TEST(SpillStore, ProfileMatchesMemoryBackendAcrossJobCounts) {
+  runtime::Simulation sim(cluster::lassen(4));
+  populate(sim);
+  const auto& records = sim.tracer().records();
+
+  // Analysis grain deliberately misaligned with the storage chunking: the
+  // map-reduce boundaries must not depend on how storage slices the trace.
+  ASSERT_GT(records.size(), 100u);
+
+  analysis::Analyzer::Options o1;
+  o1.jobs = 1;
+  o1.chunk_rows = 23;
+  analysis::Analyzer::Options o8 = o1;
+  o8.jobs = 8;
+
+  const auto mem1 = analysis::Analyzer(o1).analyze(sim.tracer());
+  const auto mem8 = analysis::Analyzer(o8).analyze(sim.tracer());
+  expect_profiles_identical(mem1, mem8);
+
+  const std::size_t kMaxResident = 3;
+  {
+    analysis::SpillColumnStore store({.dir = spill_dir("jobs1.spill"),
+                                      .chunk_rows = 17,
+                                      .max_resident_chunks = kMaxResident});
+    store.append(records);
+    store.finalize();
+    ASSERT_GT(store.num_chunks(), kMaxResident);
+    const auto spill1 = analysis::Analyzer(o1).analyze(
+        analysis::tracer_input(sim.tracer(), &store));
+    expect_profiles_identical(mem1, spill1);
+    // Acceptance bound: one cursor at a time -> peak resident rows <=
+    // chunk_rows * max_resident_chunks exactly.
+    EXPECT_LE(store.peak_resident_chunks(), kMaxResident);
+    EXPECT_GT(store.chunk_loads(), 0u);
+  }
+  {
+    analysis::SpillColumnStore store({.dir = spill_dir("jobs8.spill"),
+                                      .chunk_rows = 17,
+                                      .max_resident_chunks = kMaxResident});
+    store.append(records);
+    store.finalize();
+    const auto spill8 = analysis::Analyzer(o8).analyze(
+        analysis::tracer_input(sim.tracer(), &store));
+    expect_profiles_identical(mem1, spill8);
+    // W concurrent cursors can each keep one evicted chunk pinned.
+    EXPECT_LE(store.peak_resident_chunks(), kMaxResident + 8 - 1);
+  }
+}
+
+TEST(SpillStore, SingleResidentChunkForcesEvictionsButNotDivergence) {
+  runtime::Simulation sim(cluster::lassen(4));
+  populate(sim);
+
+  analysis::Analyzer::Options opts;
+  opts.jobs = 1;
+  opts.chunk_rows = 29;
+  const auto mem = analysis::Analyzer(opts).analyze(sim.tracer());
+
+  analysis::SpillColumnStore store({.dir = spill_dir("evict.spill"),
+                                    .chunk_rows = 16,
+                                    .max_resident_chunks = 1});
+  store.append(sim.tracer().records());
+  store.finalize();
+  const auto spill = analysis::Analyzer(opts).analyze(
+      analysis::tracer_input(sim.tracer(), &store));
+  expect_profiles_identical(mem, spill);
+
+  EXPECT_LE(store.peak_resident_chunks(), 1u);
+  EXPECT_GT(store.chunk_evictions(), 0u);
+  // The analyzer makes several passes; with one resident chunk every pass
+  // re-loads, so loads must exceed the chunk count.
+  EXPECT_GT(store.chunk_loads(), store.spilled_chunks());
+}
+
+TEST(SpillStore, TracerMidRunFlushMatchesUnspilledRun) {
+  const auto make = [] {
+    return workloads::make_montage_mpi(workloads::MontageMpiParams::test());
+  };
+  analysis::Analyzer::Options opts;
+  opts.jobs = 2;
+  opts.chunk_rows = 41;
+
+  runtime::Simulation mem_sim(cluster::lassen(4));
+  const auto mem =
+      workloads::run_with(mem_sim, make(), advisor::RunConfig{}, opts);
+  const std::size_t n = mem_sim.tracer().records().size();
+  ASSERT_GT(n, 100u);
+
+  runtime::SpillPolicy policy;
+  policy.dir = spill_dir("midrun");
+  policy.flush_rows = 32;  // tiny, so the tracer flushes many times mid-run
+  policy.chunk_rows = 32;
+  policy.max_resident_chunks = 2;
+  runtime::Simulation spill_sim(cluster::lassen(4));
+  const auto spill = workloads::run_spilled(spill_sim, make(),
+                                            advisor::RunConfig{}, opts,
+                                            policy, "montage-midrun");
+
+  EXPECT_GT(spill_sim.tracer().spilled_records(), 0u);
+  EXPECT_LT(spill_sim.tracer().records().size(), n);
+  EXPECT_EQ(spill_sim.tracer().total_records(), n);
+  EXPECT_EQ(mem.job_seconds, spill.job_seconds);
+  EXPECT_EQ(mem.engine_events, spill.engine_events);
+  expect_profiles_identical(mem.profile, spill.profile);
+}
+
+TEST(SpillStore, RunManyHonorsRunnerSpillPolicy) {
+  std::vector<workloads::Scenario> scenarios;
+  for (int nodes : {2, 4}) {
+    workloads::Scenario s;
+    s.name = "hacc-" + std::to_string(nodes);
+    s.spec = cluster::lassen(nodes);
+    s.make = [] { return workloads::make_hacc(workloads::HaccParams::test()); };
+    scenarios.push_back(std::move(s));
+  }
+  const auto mem = workloads::run_many(scenarios, 2);
+
+  runtime::SpillPolicy policy;
+  policy.dir = spill_dir("runmany");
+  policy.flush_rows = 64;
+  policy.chunk_rows = 64;
+  runtime::ScenarioRunner runner(2);
+  runner.set_spill(policy);
+  const auto spill = workloads::run_many(scenarios, runner);
+
+  ASSERT_EQ(spill.size(), mem.size());
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    SCOPED_TRACE(scenarios[i].name);
+    EXPECT_EQ(mem[i].job_seconds, spill[i].job_seconds);
+    expect_profiles_identical(mem[i].profile, spill[i].profile);
+  }
+}
+
+TEST(SpillStore, OfflineLogStreamsThroughAuxColumns) {
+  runtime::Simulation sim(cluster::lassen(4));
+  populate(sim);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/offline_spill.wtrc";
+  trace::write_log(path, sim.tracer());
+
+  analysis::Analyzer::Options opts;
+  opts.jobs = 4;
+  opts.chunk_rows = 37;
+  const auto baseline =
+      analysis::Analyzer(opts).analyze(trace::read_log(path));
+
+  // The wasp_analyze --backend spill path: stream the log into an aux
+  // store, then analyze through it.
+  trace::LogReader reader(path);
+  const auto& h = reader.header();
+  analysis::SpillColumnStore store({.dir = spill_dir("offline.spill"),
+                                    .chunk_rows = 19,
+                                    .max_resident_chunks = 4});
+  std::vector<trace::Record> batch;
+  std::vector<std::uint32_t> path_idx;
+  std::vector<std::uint64_t> file_sizes;
+  while (reader.remaining() > 0) {
+    batch.clear();
+    path_idx.clear();
+    file_sizes.clear();
+    ASSERT_GT(reader.next_chunk(50, batch, path_idx, file_sizes), 0u);
+    store.append(batch, path_idx, file_sizes);
+  }
+  store.finalize();
+  ASSERT_TRUE(store.has_aux());
+  ASSERT_EQ(store.size(), h.num_records);
+
+  analysis::TraceInput input;
+  input.store = &store;
+  input.app_names = h.apps;
+  input.path_at = [&](std::size_t i) {
+    return h.path_table[store.path_idx_at(i)];
+  };
+  input.size_at = [&](std::size_t i) { return store.file_size_at(i); };
+  input.fs_shared = [&](std::int16_t fs) {
+    return fs < 0 || static_cast<std::size_t>(fs) >= h.fs_shared.size() ||
+           h.fs_shared[fs];
+  };
+  expect_profiles_identical(baseline,
+                            analysis::Analyzer(opts).analyze(input));
+  std::remove(path.c_str());
+}
+
+TEST(SpillStore, MisuseFailsLoudly) {
+  const std::vector<trace::Record> one(1);
+  {
+    analysis::SpillColumnStore store({.dir = spill_dir("misuse1.spill")});
+    store.append(one);
+    EXPECT_THROW(store.chunk(0), util::SimError);  // not finalized
+    store.finalize();
+    EXPECT_THROW(store.append(one), util::SimError);  // sealed
+  }
+  {
+    analysis::SpillColumnStore store({.dir = spill_dir("misuse2.spill")});
+    const std::vector<std::uint32_t> idx(1, 0);
+    const std::vector<std::uint64_t> sz(1, 0);
+    store.append(one, idx, sz);  // decides aux
+    EXPECT_THROW(store.append(one), util::SimError);  // aux mixing
+  }
+}
+
+}  // namespace
+}  // namespace wasp

@@ -3,25 +3,97 @@
 // summary; optionally emit figure-style panels.
 //
 //   wasp_analyze <trace.wtrc> [--phases] [--files N] [--hist] [--jobs N]
+//                [--backend memory|spill] [--spill-dir DIR]
+//                [--chunk-rows N] [--max-resident-chunks N]
+//
+// --backend spill streams the log through a SpillColumnStore (columnar
+// chunk files + bounded LRU) instead of materializing it; the profile
+// output is byte-identical to the memory backend.
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <iostream>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/spill_store.hpp"
 #include "trace/log_io.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace wasp;
 
+namespace {
+
+analysis::WorkloadProfile analyze_spill(const std::string& trace_path,
+                                        std::string spill_dir,
+                                        std::size_t chunk_rows,
+                                        std::size_t max_resident) {
+  trace::LogReader reader(trace_path);
+  const trace::LogHeader& h = reader.header();
+  if (spill_dir.empty()) {
+    spill_dir = (std::filesystem::temp_directory_path() /
+                 ("wasp_spill_" + std::to_string(::getpid())))
+                    .string();
+  }
+  analysis::SpillColumnStore::Options opts;
+  opts.dir = spill_dir;
+  opts.chunk_rows = chunk_rows;
+  opts.max_resident_chunks = max_resident;
+  analysis::SpillColumnStore store(opts);
+
+  std::vector<trace::Record> records;
+  std::vector<std::uint32_t> path_idx;
+  std::vector<std::uint64_t> file_sizes;
+  while (reader.next_chunk(chunk_rows, records, path_idx, file_sizes) > 0) {
+    store.append(records, path_idx, file_sizes);
+    records.clear();
+    path_idx.clear();
+    file_sizes.clear();
+  }
+  store.finalize();
+  std::cerr << "loaded " << store.size() << " records, " << h.apps.size()
+            << " apps (spill: " << store.spilled_chunks() << " chunks in "
+            << spill_dir << ")\n";
+
+  analysis::TraceInput input;
+  input.store = &store;
+  input.app_names = h.apps;
+  input.path_at = [&](std::size_t i) {
+    return h.path_table.empty() ? std::string()
+                                : h.path_table[store.path_idx_at(i)];
+  };
+  input.size_at = [&](std::size_t i) { return store.file_size_at(i); };
+  input.fs_shared = [&](std::int16_t idx) {
+    const auto u = static_cast<std::size_t>(idx);
+    return u >= h.fs_shared.size() || h.fs_shared[u];
+  };
+  analysis::Analyzer analyzer;
+  auto profile = analyzer.analyze(input);
+  std::cerr << "spill cache: peak " << store.peak_resident_chunks() << "/"
+            << opts.max_resident_chunks << " resident chunks, "
+            << store.chunk_loads() << " loads, " << store.chunk_evictions()
+            << " evictions\n";
+  return profile;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: wasp_analyze <trace.wtrc> [--phases] [--files N]"
-                 " [--hist] [--jobs N]\n";
+                 " [--hist] [--jobs N] [--backend memory|spill]"
+                 " [--spill-dir DIR] [--chunk-rows N]"
+                 " [--max-resident-chunks N]\n";
     return 2;
   }
   bool show_phases = false;
   bool show_hist = false;
   std::size_t show_files = 0;
+  std::string backend = "memory";
+  std::string spill_dir;
+  std::size_t chunk_rows = 65536;
+  std::size_t max_resident = 8;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--phases") {
@@ -32,15 +104,31 @@ int main(int argc, char** argv) {
       show_files = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--jobs" && i + 1 < argc) {
       util::set_default_jobs(std::stoi(argv[++i]));
+    } else if (arg == "--backend" && i + 1 < argc) {
+      backend = argv[++i];
+    } else if (arg == "--spill-dir" && i + 1 < argc) {
+      spill_dir = argv[++i];
+    } else if (arg == "--chunk-rows" && i + 1 < argc) {
+      chunk_rows = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--max-resident-chunks" && i + 1 < argc) {
+      max_resident = static_cast<std::size_t>(std::stoul(argv[++i]));
     }
   }
+  if (backend != "memory" && backend != "spill") {
+    std::cerr << "unknown --backend (want memory|spill): " << backend << "\n";
+    return 2;
+  }
 
-  const auto log = trace::read_log(argv[1]);
-  std::cerr << "loaded " << log.records.size() << " records, "
-            << log.apps.size() << " apps\n";
-
-  analysis::Analyzer analyzer;
-  const auto profile = analyzer.analyze(log);
+  analysis::WorkloadProfile profile;
+  if (backend == "spill") {
+    profile = analyze_spill(argv[1], spill_dir, chunk_rows, max_resident);
+  } else {
+    const auto log = trace::read_log(argv[1]);
+    std::cerr << "loaded " << log.records.size() << " records, "
+              << log.apps.size() << " apps\n";
+    analysis::Analyzer analyzer;
+    profile = analyzer.analyze(log);
+  }
 
   std::cout << "job runtime:   " << util::format_seconds(profile.job_runtime_sec)
             << "\nI/O time:      "
