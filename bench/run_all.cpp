@@ -4,13 +4,16 @@
 // so every PR from here on records where the wall-clock went.
 //
 //   run_all [--jobs N] [--scale test|paper] [--out FILE]
-//           [--backend memory|spill] [--spill-dir DIR]
+//           [--backend memory|spill] [--spill-dir DIR] [--no-compress]
 //
 // --scale test (default) uses the reduced test parameters so the driver
 // finishes in seconds anywhere; --scale paper runs the full Table I scale.
 // --backend spill routes every pipeline and sweep through the spill-to-disk
 // trace store (bounded-memory analysis); each BENCH_results.json entry
-// records which backend produced it.
+// records which backend produced it, and spill-backed workload entries
+// carry the store's IoStats (cache/prefetch behavior, compressed vs raw
+// chunk bytes). --no-compress writes raw WSPCHK01 chunk files instead of
+// the compressed WSPCHK02 format.
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -46,6 +49,8 @@ struct WorkloadMetrics {
   std::uint64_t trace_rows = 0;
   double events_per_sec = 0.0;
   double analyzer_rows_per_sec = 0.0;
+  bool compress = true;
+  analysis::IoStats io;  // all-zero for the memory backend
 };
 
 struct SweepMetrics {
@@ -72,10 +77,12 @@ WorkloadMetrics measure_workload(const std::string& name,
   std::unique_ptr<analysis::SpillColumnStore> store;
   if (policy != nullptr) {
     m.backend = "spill";
+    m.compress = policy->compress;
     analysis::SpillColumnStore::Options so;
     so.dir = policy->dir + "/" + name;
     so.chunk_rows = policy->chunk_rows;
     so.max_resident_chunks = policy->max_resident_chunks;
+    so.compress = policy->compress;
     store = std::make_unique<analysis::SpillColumnStore>(so);
     sim.tracer().set_sink(store.get(), policy->flush_rows);
   }
@@ -103,6 +110,7 @@ WorkloadMetrics measure_workload(const std::string& name,
     const auto profile =
         analyzer.analyze(analysis::tracer_input(sim.tracer(), store.get()));
     (void)profile;
+    m.io = store->io_stats();
   } else {
     const auto profile = analyzer.analyze(sim.tracer());
     (void)profile;
@@ -220,6 +228,7 @@ std::string json_num(double v) {
 int main(int argc, char** argv) {
   const int jobs = benchutil::init_jobs(argc, argv);
   bool paper_scale = false;
+  bool compress = true;
   std::string out_path = "BENCH_results.json";
   std::string backend = "memory";
   std::string spill_dir;
@@ -233,6 +242,8 @@ int main(int argc, char** argv) {
       backend = argv[++i];
     } else if (arg == "--spill-dir" && i + 1 < argc) {
       spill_dir = argv[++i];
+    } else if (arg == "--no-compress") {
+      compress = false;
     }
   }
   if (backend != "memory" && backend != "spill") {
@@ -247,6 +258,7 @@ int main(int argc, char** argv) {
             ? (std::filesystem::temp_directory_path() / "wasp_runall_spill")
                   .string()
             : spill_dir;
+    spill_policy.compress = compress;
     policy = &spill_policy;
   }
 
@@ -293,8 +305,25 @@ int main(int argc, char** argv) {
        << "\"engine_events\": " << m.engine_events << ", "
        << "\"trace_rows\": " << m.trace_rows << ", "
        << "\"events_per_sec\": " << json_num(m.events_per_sec) << ", "
-       << "\"analyzer_rows_per_sec\": " << json_num(m.analyzer_rows_per_sec)
-       << "}" << (i + 1 < workload_metrics.size() ? "," : "") << "\n";
+       << "\"analyzer_rows_per_sec\": " << json_num(m.analyzer_rows_per_sec);
+    if (m.backend == "spill") {
+      os << ", \"io\": {"
+         << "\"compress\": " << (m.compress ? "true" : "false") << ", "
+         << "\"chunk_loads\": " << m.io.chunk_loads << ", "
+         << "\"cache_hits\": " << m.io.cache_hits << ", "
+         << "\"evictions\": " << m.io.evictions << ", "
+         << "\"prefetch_issued\": " << m.io.prefetch_issued << ", "
+         << "\"prefetch_hits\": " << m.io.prefetch_hits << ", "
+         << "\"prefetch_wasted\": " << m.io.prefetch_wasted << ", "
+         << "\"prefetch_hit_rate\": " << json_num(m.io.prefetch_hit_rate())
+         << ", "
+         << "\"bytes_written\": " << m.io.bytes_written << ", "
+         << "\"bytes_read\": " << m.io.bytes_read << ", "
+         << "\"raw_bytes\": " << m.io.raw_bytes << ", "
+         << "\"compressed_ratio\": " << json_num(m.io.compressed_ratio())
+         << "}";
+    }
+    os << "}" << (i + 1 < workload_metrics.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   os << "  \"sweeps\": [\n";

@@ -374,14 +374,10 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
 
   // Filesystem-shared lookup table, resolved up front on this thread: the
   // callback may touch lazily-built filesystem namespaces, which must not
-  // happen concurrently from chunk workers.
-  std::int16_t max_fs = -1;
-  {
-    Cursor cs(store);
-    for (std::size_t i = 0; i < store.size(); ++i) {
-      max_fs = std::max(max_fs, cs.file(i).fs);
-    }
-  }
+  // happen concurrently from chunk workers. Backends that track the max fs
+  // index during append answer in O(1); for a spill store that avoids a
+  // full serial pass over every chunk file.
+  const std::int16_t max_fs = store.max_fs();
   std::vector<char> fs_is_shared(static_cast<std::size_t>(max_fs + 1), 1);
   for (std::int16_t f = 0; f <= max_fs; ++f) {
     fs_is_shared[static_cast<std::size_t>(f)] =

@@ -1,0 +1,88 @@
+// Dependency-free per-column codecs for WSPCHK02 spill chunk files.
+//
+// Every column is widened to uint64 values (bit-pattern for signed types,
+// underlying value for enums — lossless both ways), then encoded with one
+// of three schemes, chosen per column by encoded size:
+//
+//   kRaw    — the original fixed-width array bytes (always available).
+//   kDelta  — zigzag(varint) of consecutive differences; near-free for
+//             monotone columns (tstart/tend) and offset runs.
+//   kRle    — (varint run-length, varint value) pairs; collapses
+//             low-cardinality columns (app/iface/op/fs) to almost nothing.
+//
+// Decoders are defensive: they validate against the expected row count and
+// buffer bounds and throw util::SimError on any malformed input, so a
+// corrupt chunk file fails loudly instead of mis-decoding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace wasp::analysis::codec {
+
+enum class Encoding : std::uint8_t { kRaw = 0, kDelta = 1, kRle = 2 };
+
+/// Widen a column element to its canonical uint64 representation: enums go
+/// through their underlying type, signed integers through the same-width
+/// unsigned type (two's complement bit pattern), so narrow(widen(v)) == v.
+template <typename T>
+constexpr std::uint64_t widen(T v) noexcept {
+  if constexpr (std::is_enum_v<T>) {
+    using U = std::make_unsigned_t<std::underlying_type_t<T>>;
+    return static_cast<std::uint64_t>(static_cast<U>(v));
+  } else {
+    static_assert(std::is_integral_v<T>);
+    return static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(v));
+  }
+}
+
+template <typename T>
+constexpr T narrow(std::uint64_t u) noexcept {
+  if constexpr (std::is_enum_v<T>) {
+    using U = std::make_unsigned_t<std::underlying_type_t<T>>;
+    return static_cast<T>(
+        static_cast<std::underlying_type_t<T>>(static_cast<U>(u)));
+  } else {
+    static_assert(std::is_integral_v<T>);
+    return static_cast<T>(static_cast<std::make_unsigned_t<T>>(u));
+  }
+}
+
+/// LEB128 varint append / bounds-checked read (throws SimError past `end`
+/// or on a >10-byte encoding).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+std::uint64_t get_varint(const std::uint8_t*& p, const std::uint8_t* end);
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+/// Encode n widened values as zigzag varints of wrapping consecutive
+/// deltas (first delta is against 0).
+std::vector<std::uint8_t> encode_delta(const std::uint64_t* vals,
+                                       std::size_t n);
+/// Decode exactly n values; throws SimError on truncation, overrun, or
+/// trailing bytes.
+void decode_delta(const std::uint8_t* data, std::size_t len,
+                  std::uint64_t* out, std::size_t n);
+
+/// Encode n widened values as (run length, value) varint pairs.
+std::vector<std::uint8_t> encode_rle(const std::uint64_t* vals,
+                                     std::size_t n);
+void decode_rle(const std::uint8_t* data, std::size_t len, std::uint64_t* out,
+                std::size_t n);
+
+/// Upper bound on a well-formed kDelta/kRle payload for n rows — used to
+/// reject absurd lengths from corrupt chunk headers before allocating.
+constexpr std::uint64_t max_encoded_bytes(std::uint64_t n) noexcept {
+  return 16 + 11 * n;
+}
+
+}  // namespace wasp::analysis::codec

@@ -64,6 +64,12 @@ ChunkHandle ColumnStore::chunk(std::size_t chunk_index) const {
   return h;
 }
 
+std::int16_t ColumnStore::max_fs() const {
+  std::int16_t m = -1;
+  for (const std::int16_t f : fs_) m = std::max(m, f);
+  return m;
+}
+
 trace::Record ColumnStore::row(std::size_t i) const {
   trace::Record r;
   r.app = app_[i];

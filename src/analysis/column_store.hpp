@@ -36,6 +36,9 @@ class ColumnStore : public TraceStore {
   }
   ChunkHandle chunk(std::size_t chunk_index) const override;
 
+  /// Direct scan over the contiguous fs column — no chunk handles needed.
+  std::int16_t max_fs() const override;
+
   // Column accessors.
   std::uint16_t app(std::size_t i) const { return app_[i]; }
   std::int32_t rank(std::size_t i) const { return rank_[i]; }

@@ -1,42 +1,101 @@
 #include "analysis/spill_store.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#include "analysis/chunk_codec.hpp"
 #include "util/error.hpp"
 
 namespace wasp::analysis {
 namespace {
 
-// Chunk file: magic, version, rows, flags (bit0 = aux columns present),
-// then the raw column arrays in declaration order.
-constexpr char kChunkMagic[8] = {'W', 'S', 'P', 'C', 'H', 'K', '0', '1'};
-constexpr std::uint64_t kChunkVersion = 1;
+// Chunk file, both versions: 8-byte magic, u64 version, u64 rows, u64 flags
+// (bit0 = aux columns present), then the columns in declaration order.
+// WSPCHK01 stores raw column arrays; WSPCHK02 stores each column as
+// [u8 encoding tag][u64 payload bytes][payload] (see chunk_codec.hpp).
+constexpr char kChunkMagicV1[8] = {'W', 'S', 'P', 'C', 'H', 'K', '0', '1'};
+constexpr char kChunkMagicV2[8] = {'W', 'S', 'P', 'C', 'H', 'K', '0', '2'};
 constexpr std::uint64_t kFlagAux = 1;
 
-void write_u64(std::ofstream& os, std::uint64_t v) {
+constexpr const char* kColNames[] = {
+    "app",   "rank",  "node",   "iface",    "op",        "fs",  "file",
+    "offset", "size", "count",  "tstart",   "tend",      "path_idx",
+    "file_size",
+};
+
+// One store per subdirectory: a process-wide sequence number plus the pid
+// keeps two stores sharing one --spill-dir (even across processes) from
+// ever colliding on chunk file names.
+std::atomic<std::uint64_t> g_store_seq{0};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint64_t read_u64(std::ifstream& is) {
+std::uint64_t read_u64(std::istream& is) {
   std::uint64_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
 
 template <typename T>
-void write_col(std::ofstream& os, const std::vector<T>& col) {
+void write_col_raw(std::ostream& os, const std::vector<T>& col) {
   os.write(reinterpret_cast<const char*>(col.data()),
            static_cast<std::streamsize>(col.size() * sizeof(T)));
 }
 
 template <typename T>
-void read_col(std::ifstream& is, std::vector<T>& col, std::size_t rows) {
+void read_col_raw(std::istream& is, std::vector<T>& col, std::size_t rows) {
   col.resize(rows);
   is.read(reinterpret_cast<char*>(col.data()),
           static_cast<std::streamsize>(rows * sizeof(T)));
+}
+
+/// Read one WSPCHK02 column: tag, payload length, payload; decode into the
+/// typed column. Every length and the decoded row count are validated, so
+/// truncated or corrupt files throw instead of mis-decoding.
+template <typename T>
+void read_col_v2(std::istream& is, std::vector<T>& col, std::size_t rows,
+                 const std::string& path) {
+  std::uint8_t tag = 0xff;
+  is.read(reinterpret_cast<char*>(&tag), 1);
+  const std::uint64_t len = read_u64(is);
+  WASP_CHECK_MSG(is.good(), "truncated spill chunk column header: " + path);
+  switch (static_cast<codec::Encoding>(tag)) {
+    case codec::Encoding::kRaw: {
+      WASP_CHECK_MSG(len == rows * sizeof(T),
+                     "raw column length mismatch in spill chunk: " + path);
+      read_col_raw(is, col, rows);
+      WASP_CHECK_MSG(is.good(), "truncated spill chunk: " + path);
+      return;
+    }
+    case codec::Encoding::kDelta:
+    case codec::Encoding::kRle: {
+      WASP_CHECK_MSG(len <= codec::max_encoded_bytes(rows),
+                     "oversized encoded column in spill chunk: " + path);
+      std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+      is.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+      WASP_CHECK_MSG(is.good(), "truncated spill chunk: " + path);
+      std::vector<std::uint64_t> widened(rows);
+      if (static_cast<codec::Encoding>(tag) == codec::Encoding::kDelta) {
+        codec::decode_delta(buf.data(), buf.size(), widened.data(), rows);
+      } else {
+        codec::decode_rle(buf.data(), buf.size(), widened.data(), rows);
+      }
+      col.resize(rows);
+      for (std::size_t i = 0; i < rows; ++i) {
+        col[i] = codec::narrow<T>(widened[i]);
+      }
+      return;
+    }
+    default:
+      WASP_CHECK_MSG(false, "unknown column encoding in spill chunk: " + path);
+  }
 }
 
 }  // namespace
@@ -49,13 +108,23 @@ SpillColumnStore::SpillColumnStore(Options opts) : opts_(std::move(opts)) {
   if (opts_.chunk_rows == 0) opts_.chunk_rows = 1;
   if (opts_.max_resident_chunks == 0) opts_.max_resident_chunks = 1;
   WASP_CHECK_MSG(!opts_.dir.empty(), "spill directory must be set");
+  dir_ = opts_.dir + "/store_" + std::to_string(::getpid()) + "_" +
+         std::to_string(g_store_seq.fetch_add(1, std::memory_order_relaxed));
   std::error_code ec;
-  std::filesystem::create_directories(opts_.dir, ec);
-  WASP_CHECK_MSG(!ec, "cannot create spill directory: " + opts_.dir);
+  std::filesystem::create_directories(dir_, ec);
+  WASP_CHECK_MSG(!ec, "cannot create spill directory: " + dir_);
   residency_ = std::make_shared<Residency>();
 }
 
 SpillColumnStore::~SpillColumnStore() {
+  if (prefetch_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(pf_mu_);
+      pf_stop_ = true;
+    }
+    pf_cv_.notify_one();
+    prefetch_thread_.join();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.clear();
@@ -63,17 +132,18 @@ SpillColumnStore::~SpillColumnStore() {
   }
   std::error_code ec;
   for (std::size_t c = 0; c < chunks_written_; ++c) {
-    std::filesystem::remove(chunk_path(c), ec);
+    std::filesystem::remove(chunk_file_path(c), ec);
   }
-  // Only removed when empty — a shared spill dir with other stores' files
-  // stays put.
+  std::filesystem::remove(dir_, ec);
+  // Only removed when empty — a shared spill dir with other stores'
+  // subdirectories stays put.
   std::filesystem::remove(opts_.dir, ec);
 }
 
-std::string SpillColumnStore::chunk_path(std::size_t index) const {
+std::string SpillColumnStore::chunk_file_path(std::size_t index) const {
   char name[32];
   std::snprintf(name, sizeof(name), "chunk_%06zu.wspc", index);
-  return opts_.dir + "/" + name;
+  return dir_ + "/" + name;
 }
 
 void SpillColumnStore::push_row(const trace::Record& r) {
@@ -89,6 +159,7 @@ void SpillColumnStore::push_row(const trace::Record& r) {
   open_.count.push_back(r.count);
   open_.tstart.push_back(r.tstart);
   open_.tend.push_back(r.tend);
+  max_fs_ = std::max(max_fs_, r.file.fs);
 }
 
 void SpillColumnStore::maybe_flush() {
@@ -131,89 +202,336 @@ void SpillColumnStore::finalize() {
   WASP_CHECK_MSG(!finalized_, "finalize called twice");
   flush_open_chunk();
   finalized_ = true;
+  if (opts_.prefetch && chunks_written_ > 1) {
+    prefetch_thread_ = std::thread(&SpillColumnStore::prefetch_loop, this);
+  }
+}
+
+template <typename T>
+void SpillColumnStore::write_col_v2(std::ostream& os, const std::vector<T>& col,
+                                    Col id) {
+  const std::size_t n = col.size();
+  std::vector<std::uint64_t> widened(n);
+  for (std::size_t i = 0; i < n; ++i) widened[i] = codec::widen(col[i]);
+  const auto delta = codec::encode_delta(widened.data(), n);
+  const auto rle = codec::encode_rle(widened.data(), n);
+  const std::size_t raw_size = n * sizeof(T);
+
+  codec::Encoding enc = codec::Encoding::kRaw;
+  std::size_t payload = raw_size;
+  if (delta.size() < payload) {
+    enc = codec::Encoding::kDelta;
+    payload = delta.size();
+  }
+  if (rle.size() < payload) {
+    enc = codec::Encoding::kRle;
+    payload = rle.size();
+  }
+
+  const auto tag = static_cast<std::uint8_t>(enc);
+  os.write(reinterpret_cast<const char*>(&tag), 1);
+  write_u64(os, payload);
+  switch (enc) {
+    case codec::Encoding::kRaw:
+      write_col_raw(os, col);
+      break;
+    case codec::Encoding::kDelta:
+      os.write(reinterpret_cast<const char*>(delta.data()),
+               static_cast<std::streamsize>(delta.size()));
+      break;
+    case codec::Encoding::kRle:
+      os.write(reinterpret_cast<const char*>(rle.data()),
+               static_cast<std::streamsize>(rle.size()));
+      break;
+  }
+  col_raw_[id] += raw_size;
+  col_stored_[id] += payload + 1 + sizeof(std::uint64_t);
 }
 
 void SpillColumnStore::flush_open_chunk() {
   const std::size_t rows = open_.rows();
   if (rows == 0) return;
-  const std::string path = chunk_path(chunks_written_);
+  const std::string path = chunk_file_path(chunks_written_);
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   WASP_CHECK_MSG(os.good(), "cannot open spill chunk for writing: " + path);
-  os.write(kChunkMagic, sizeof(kChunkMagic));
-  write_u64(os, kChunkVersion);
-  write_u64(os, rows);
-  write_u64(os, has_aux_ ? kFlagAux : 0);
-  write_col(os, open_.app);
-  write_col(os, open_.rank);
-  write_col(os, open_.node);
-  write_col(os, open_.iface);
-  write_col(os, open_.op);
-  write_col(os, open_.fs);
-  write_col(os, open_.file);
-  write_col(os, open_.offset);
-  write_col(os, open_.size);
-  write_col(os, open_.count);
-  write_col(os, open_.tstart);
-  write_col(os, open_.tend);
-  if (has_aux_) {
-    write_col(os, open_.path_idx);
-    write_col(os, open_.file_size);
+  const std::uint64_t flags = has_aux_ ? kFlagAux : 0;
+  if (opts_.compress) {
+    os.write(kChunkMagicV2, sizeof(kChunkMagicV2));
+    write_u64(os, 2);
+    write_u64(os, rows);
+    write_u64(os, flags);
+    write_col_v2(os, open_.app, kColApp);
+    write_col_v2(os, open_.rank, kColRank);
+    write_col_v2(os, open_.node, kColNode);
+    write_col_v2(os, open_.iface, kColIface);
+    write_col_v2(os, open_.op, kColOp);
+    write_col_v2(os, open_.fs, kColFs);
+    write_col_v2(os, open_.file, kColFile);
+    write_col_v2(os, open_.offset, kColOffset);
+    write_col_v2(os, open_.size, kColSize);
+    write_col_v2(os, open_.count, kColCount);
+    write_col_v2(os, open_.tstart, kColTstart);
+    write_col_v2(os, open_.tend, kColTend);
+    if (has_aux_) {
+      write_col_v2(os, open_.path_idx, kColPathIdx);
+      write_col_v2(os, open_.file_size, kColFileSize);
+    }
+  } else {
+    os.write(kChunkMagicV1, sizeof(kChunkMagicV1));
+    write_u64(os, 1);
+    write_u64(os, rows);
+    write_u64(os, flags);
+    const auto raw_col = [&](const auto& col, Col id) {
+      using T = typename std::decay_t<decltype(col)>::value_type;
+      write_col_raw(os, col);
+      const std::uint64_t bytes = col.size() * sizeof(T);
+      col_raw_[id] += bytes;
+      col_stored_[id] += bytes;
+    };
+    raw_col(open_.app, kColApp);
+    raw_col(open_.rank, kColRank);
+    raw_col(open_.node, kColNode);
+    raw_col(open_.iface, kColIface);
+    raw_col(open_.op, kColOp);
+    raw_col(open_.fs, kColFs);
+    raw_col(open_.file, kColFile);
+    raw_col(open_.offset, kColOffset);
+    raw_col(open_.size, kColSize);
+    raw_col(open_.count, kColCount);
+    raw_col(open_.tstart, kColTstart);
+    raw_col(open_.tend, kColTend);
+    if (has_aux_) {
+      raw_col(open_.path_idx, kColPathIdx);
+      raw_col(open_.file_size, kColFileSize);
+    }
   }
   os.flush();
   WASP_CHECK_MSG(os.good(), "short write to spill chunk: " + path);
+  bytes_written_ += static_cast<std::uint64_t>(os.tellp());
+  raw_bytes_ = 0;
+  for (std::size_t c = 0; c < kNumCols; ++c) raw_bytes_ += col_raw_[c];
   open_ = Columns{};
   ++chunks_written_;
 }
 
 std::shared_ptr<const SpillColumnStore::ChunkData> SpillColumnStore::load_chunk(
     std::size_t index) const {
-  const std::string path = chunk_path(index);
+  const std::string path = chunk_file_path(index);
   std::ifstream is(path, std::ios::binary);
   WASP_CHECK_MSG(is.good(), "cannot open spill chunk: " + path);
-  char magic[sizeof(kChunkMagic)] = {};
+  char magic[sizeof(kChunkMagicV2)] = {};
   is.read(magic, sizeof(magic));
-  WASP_CHECK_MSG(std::equal(magic, magic + sizeof(magic), kChunkMagic),
-                 "bad spill chunk magic: " + path);
-  WASP_CHECK_MSG(read_u64(is) == kChunkVersion,
+  const bool v2 =
+      std::equal(magic, magic + sizeof(magic), kChunkMagicV2);
+  WASP_CHECK_MSG(
+      v2 || std::equal(magic, magic + sizeof(magic), kChunkMagicV1),
+      "bad spill chunk magic: " + path);
+  WASP_CHECK_MSG(read_u64(is) == (v2 ? 2u : 1u),
                  "unsupported spill chunk version: " + path);
   const std::uint64_t rows64 = read_u64(is);
   const std::uint64_t flags = read_u64(is);
   const auto rows = static_cast<std::size_t>(rows64);
-  WASP_CHECK_MSG(rows > 0 && rows <= opts_.chunk_rows,
-                 "spill chunk row count out of range: " + path);
+  // Every chunk except the last must hold exactly chunk_rows rows —
+  // view_of() computes each chunk's base as index * chunk_rows, so a short
+  // non-final chunk (truncated rewrite, mixed-config directory) would
+  // silently misalign every later row's global index.
+  const std::size_t expected =
+      index + 1 == chunks_written_
+          ? total_rows_ - (chunks_written_ - 1) * opts_.chunk_rows
+          : opts_.chunk_rows;
+  WASP_CHECK_MSG(is.good() && rows == expected,
+                 "spill chunk row count mismatch: " + path);
   const bool aux = (flags & kFlagAux) != 0;
   WASP_CHECK_MSG(aux == has_aux_, "spill chunk aux flag mismatch: " + path);
 
   auto data = std::make_shared<ChunkData>();
-  data->residency = residency_;
   Columns& c = data->cols;
-  read_col(is, c.app, rows);
-  read_col(is, c.rank, rows);
-  read_col(is, c.node, rows);
-  read_col(is, c.iface, rows);
-  read_col(is, c.op, rows);
-  read_col(is, c.fs, rows);
-  read_col(is, c.file, rows);
-  read_col(is, c.offset, rows);
-  read_col(is, c.size, rows);
-  read_col(is, c.count, rows);
-  read_col(is, c.tstart, rows);
-  read_col(is, c.tend, rows);
-  if (aux) {
-    read_col(is, c.path_idx, rows);
-    read_col(is, c.file_size, rows);
+  if (v2) {
+    read_col_v2(is, c.app, rows, path);
+    read_col_v2(is, c.rank, rows, path);
+    read_col_v2(is, c.node, rows, path);
+    read_col_v2(is, c.iface, rows, path);
+    read_col_v2(is, c.op, rows, path);
+    read_col_v2(is, c.fs, rows, path);
+    read_col_v2(is, c.file, rows, path);
+    read_col_v2(is, c.offset, rows, path);
+    read_col_v2(is, c.size, rows, path);
+    read_col_v2(is, c.count, rows, path);
+    read_col_v2(is, c.tstart, rows, path);
+    read_col_v2(is, c.tend, rows, path);
+    if (aux) {
+      read_col_v2(is, c.path_idx, rows, path);
+      read_col_v2(is, c.file_size, rows, path);
+    }
+  } else {
+    read_col_raw(is, c.app, rows);
+    read_col_raw(is, c.rank, rows);
+    read_col_raw(is, c.node, rows);
+    read_col_raw(is, c.iface, rows);
+    read_col_raw(is, c.op, rows);
+    read_col_raw(is, c.fs, rows);
+    read_col_raw(is, c.file, rows);
+    read_col_raw(is, c.offset, rows);
+    read_col_raw(is, c.size, rows);
+    read_col_raw(is, c.count, rows);
+    read_col_raw(is, c.tstart, rows);
+    read_col_raw(is, c.tend, rows);
+    if (aux) {
+      read_col_raw(is, c.path_idx, rows);
+      read_col_raw(is, c.file_size, rows);
+    }
   }
   WASP_CHECK_MSG(is.good(), "truncated spill chunk: " + path);
 
   loads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(static_cast<std::uint64_t>(is.tellg()),
+                        std::memory_order_relaxed);
   const std::size_t now =
       residency_->resident.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Only arm the destructor's decrement once the increment happened — a
+  // throw above must not underflow the counter.
+  data->residency = residency_;
   std::size_t peak = residency_->peak.load(std::memory_order_relaxed);
   while (now > peak &&
          !residency_->peak.compare_exchange_weak(peak, now,
                                                  std::memory_order_relaxed)) {
   }
   return data;
+}
+
+void SpillColumnStore::evict_lru_back_locked() const {
+  const std::size_t victim = lru_.back();
+  lru_.pop_back();
+  const auto it = cache_.find(victim);
+  if (it != cache_.end()) {
+    if (it->second.prefetched) {
+      prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cache_.erase(it);
+  }
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SpillColumnStore::make_room_locked() const {
+  while (cache_.size() + inflight_.size() >= opts_.max_resident_chunks &&
+         !lru_.empty()) {
+    evict_lru_back_locked();
+  }
+}
+
+std::shared_ptr<const SpillColumnStore::ChunkData>
+SpillColumnStore::acquire_chunk(std::size_t index, bool for_prefetch) const {
+  std::promise<std::shared_ptr<const ChunkData>> promise;
+  std::shared_future<std::shared_ptr<const ChunkData>> fut;
+  bool loader = false;
+  bool waiting_on_prefetch = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = cache_.find(index); it != cache_.end()) {
+      if (for_prefetch) return it->second.data;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (it->second.prefetched) {
+        it->second.prefetched = false;
+        prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.data;
+    }
+    if (const auto fit = inflight_.find(index); fit != inflight_.end()) {
+      if (for_prefetch) return nullptr;  // someone is already on it
+      fut = fit->second.fut;
+      waiting_on_prefetch = fit->second.prefetch;
+    } else {
+      loader = true;
+      // Make room before the load so the resident set stays bounded even
+      // while the read happens off-lock; pinned victims survive through
+      // their cursors' pins.
+      make_room_locked();
+      fut = promise.get_future().share();
+      inflight_.emplace(index, Inflight{fut, for_prefetch});
+    }
+  }
+
+  if (!loader) {
+    // Share the in-flight load instead of stampeding the disk. get()
+    // rethrows the loader's exception for corrupt chunks.
+    std::shared_ptr<const ChunkData> data = fut.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (waiting_on_prefetch) {
+      prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (const auto it = cache_.find(index); it != cache_.end()) {
+        it->second.prefetched = false;
+      }
+    }
+    return data;
+  }
+
+  // Loader path: the disk read and decode happen with mu_ released, so
+  // other chunks keep flowing to other analyzer threads meanwhile.
+  std::shared_ptr<const ChunkData> data;
+  try {
+    data = load_chunk(index);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(index);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(index);
+    lru_.push_front(index);
+    cache_[index] = CacheEntry{data, lru_.begin(), for_prefetch};
+    // Concurrent loaders can overshoot the cap between make-room and
+    // insert; trim from the cold end (never the entry just inserted).
+    while (cache_.size() > opts_.max_resident_chunks && lru_.size() > 1) {
+      evict_lru_back_locked();
+    }
+    if (for_prefetch) {
+      prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  promise.set_value(data);
+  return data;
+}
+
+void SpillColumnStore::maybe_schedule_prefetch(std::size_t just_served) const {
+  if (!prefetch_thread_.joinable()) return;
+  bool sequential;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequential = just_served == 0 || (last_seq_chunk_ != kNoChunk &&
+                                      just_served == last_seq_chunk_ + 1);
+    last_seq_chunk_ = just_served;
+  }
+  if (!sequential || just_served + 1 >= chunks_written_) return;
+  {
+    std::lock_guard<std::mutex> lock(pf_mu_);
+    pf_target_ = just_served + 1;
+  }
+  pf_cv_.notify_one();
+}
+
+void SpillColumnStore::prefetch_loop() {
+  for (;;) {
+    std::size_t target;
+    {
+      std::unique_lock<std::mutex> lock(pf_mu_);
+      pf_cv_.wait(lock, [this] { return pf_stop_ || pf_target_ != kNoChunk; });
+      if (pf_stop_) return;
+      target = pf_target_;
+      pf_target_ = kNoChunk;
+    }
+    try {
+      (void)acquire_chunk(target, /*for_prefetch=*/true);
+    } catch (const std::exception&) {
+      // Corrupt/unreadable chunk: drop it here — the demand load will
+      // surface the error on the caller's thread.
+    }
+  }
 }
 
 ChunkColumns SpillColumnStore::view_of(const ChunkData& data,
@@ -243,31 +561,18 @@ ChunkHandle SpillColumnStore::chunk(std::size_t chunk_index) const {
   WASP_CHECK_MSG(finalized_, "reading a spill store before finalize()");
   WASP_CHECK_MSG(chunk_index < chunks_written_,
                  "spill chunk index out of range");
-  std::shared_ptr<const ChunkData> data;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(chunk_index);
-    if (it != cache_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      lru_.splice(lru_.begin(), lru_, it->second.second);
-      data = it->second.first;
-    } else {
-      // Make room before loading so the cache never exceeds its cap.
-      while (cache_.size() >= opts_.max_resident_chunks && !lru_.empty()) {
-        const std::size_t victim = lru_.back();
-        lru_.pop_back();
-        cache_.erase(victim);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-      }
-      data = load_chunk(chunk_index);
-      lru_.push_front(chunk_index);
-      cache_.emplace(chunk_index, std::make_pair(data, lru_.begin()));
-    }
-  }
+  const std::shared_ptr<const ChunkData> data =
+      acquire_chunk(chunk_index, /*for_prefetch=*/false);
+  maybe_schedule_prefetch(chunk_index);
   ChunkHandle h;
   h.cols = view_of(*data, chunk_index * opts_.chunk_rows);
   h.pin = std::shared_ptr<const void>(data, data.get());
   return h;
+}
+
+bool SpillColumnStore::chunk_cached(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.find(index) != cache_.end();
 }
 
 std::uint32_t SpillColumnStore::path_idx_at(std::size_t i) const {
@@ -288,6 +593,24 @@ std::size_t SpillColumnStore::resident_chunks() const noexcept {
 
 std::size_t SpillColumnStore::peak_resident_chunks() const noexcept {
   return residency_->peak.load(std::memory_order_relaxed);
+}
+
+IoStats SpillColumnStore::io_stats() const {
+  IoStats s;
+  s.chunk_loads = loads_.load(std::memory_order_relaxed);
+  s.cache_hits = hits_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.prefetch_wasted = prefetch_wasted_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_;
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.raw_bytes = raw_bytes_;
+  for (std::size_t c = 0; c < kNumCols; ++c) {
+    if (col_raw_[c] == 0) continue;
+    s.columns.push_back({kColNames[c], col_raw_[c], col_stored_[c]});
+  }
+  return s;
 }
 
 }  // namespace wasp::analysis

@@ -5,11 +5,27 @@
 // holds at most one open chunk. Reads load chunk files on demand into a
 // bounded LRU cache of resident chunks.
 //
+// Chunk files are WSPCHK02 by default: each column is compressed
+// independently (varint zigzag delta / RLE / raw, whichever is smallest —
+// see chunk_codec.hpp). Options::compress = false writes the legacy raw
+// WSPCHK01 layout; load_chunk reads both formats, so mixed directories
+// from older runs stay readable.
+//
+// Concurrency: the cache mutex is never held across a disk read. A miss
+// registers an in-flight future under the lock, loads and decodes the
+// chunk off-lock, then publishes it; concurrent readers of the same chunk
+// share the one load instead of stampeding, and readers of other chunks
+// proceed in parallel. On sequential scans a background prefetch thread
+// double-buffers: while the analyzer consumes chunk k, chunk k+1 is read
+// and decoded so the next fetch is a cache hit.
+//
 // Memory bound: with K = max_resident_chunks and W concurrent cursors, at
-// most K cached + (W-1) pinned-but-evicted chunks are alive, i.e. resident
-// rows <= chunk_rows * (K + W - 1); single-cursor scans are bounded by
-// chunk_rows * K exactly. peak_resident_chunks() counts actual alive chunk
-// buffers (cached or pinned) so tests can assert the bound.
+// most K cached/in-flight chunks plus one buffer per cursor (a pin or an
+// in-flight demand load — never both) plus the one prefetch buffer are
+// alive: resident rows <= chunk_rows * (K + W + 1); a single-cursor scan
+// with prefetch is bounded by chunk_rows * (K + 1). peak_resident_chunks()
+// counts actual alive chunk buffers (cached, in-flight, or pinned) so
+// tests can assert the bound.
 //
 // The store doubles as a trace::RecordSink so a Tracer can flush closed
 // batches into it mid-run, and carries the offline log's auxiliary columns
@@ -17,12 +33,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <future>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -34,11 +54,19 @@ namespace wasp::analysis {
 class SpillColumnStore final : public TraceStore, public trace::RecordSink {
  public:
   struct Options {
-    /// Spill directory; created on construction, chunk files are removed by
-    /// the destructor.
+    /// Spill directory; created on construction. Each store instance
+    /// writes its chunk files under a unique per-instance subdirectory,
+    /// so any number of stores (or processes) may share one dir. The
+    /// destructor removes the instance subdirectory, and `dir` itself
+    /// once it is empty.
     std::string dir;
     std::size_t chunk_rows = 65536;
     std::size_t max_resident_chunks = 8;
+    /// Write per-column-compressed WSPCHK02 chunk files; false writes the
+    /// legacy raw WSPCHK01 layout. Reads accept both regardless.
+    bool compress = true;
+    /// Double-buffered background read-ahead on sequential chunk scans.
+    bool prefetch = true;
   };
 
   explicit SpillColumnStore(Options opts);
@@ -54,8 +82,9 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
   void append(std::span<const trace::Record> records,
               std::span<const std::uint32_t> path_idx,
               std::span<const std::uint64_t> file_sizes);
-  /// Flush the partial tail chunk and seal the store for reading. Required
-  /// before chunk()/row(); append() afterwards is an error.
+  /// Flush the partial tail chunk and seal the store for reading (this is
+  /// also where the prefetch thread starts). Required before
+  /// chunk()/row(); append() afterwards is an error.
   void finalize();
   bool finalized() const noexcept { return finalized_; }
 
@@ -63,6 +92,8 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
   std::size_t size() const noexcept override { return total_rows_; }
   std::size_t chunk_rows() const noexcept override { return opts_.chunk_rows; }
   ChunkHandle chunk(std::size_t chunk_index) const override;
+  std::int16_t max_fs() const override { return max_fs_; }
+  IoStats io_stats() const override;
 
   // --- Auxiliary columns --------------------------------------------------
   bool has_aux() const noexcept { return has_aux_; }
@@ -77,6 +108,14 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
   std::uint64_t chunk_evictions() const noexcept { return evictions_.load(); }
   std::size_t spilled_chunks() const noexcept { return chunks_written_; }
   const Options& options() const noexcept { return opts_; }
+  /// The per-instance directory the chunk files actually live in (a unique
+  /// subdirectory of options().dir).
+  const std::string& spill_dir() const noexcept { return dir_; }
+  /// On-disk path of chunk `index` (tests corrupt files through this).
+  std::string chunk_file_path(std::size_t index) const;
+  /// Whether a chunk is currently in the LRU cache (tests use this to wait
+  /// for the prefetcher deterministically).
+  bool chunk_cached(std::size_t index) const;
 
  private:
   struct Columns {
@@ -97,6 +136,13 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
     std::size_t rows() const noexcept { return app.size(); }
   };
 
+  /// Column ids in chunk-file declaration order (stats indexing).
+  enum Col : std::size_t {
+    kColApp, kColRank, kColNode, kColIface, kColOp, kColFs, kColFile,
+    kColOffset, kColSize, kColCount, kColTstart, kColTend, kColPathIdx,
+    kColFileSize, kNumCols,
+  };
+
   /// Alive-chunk accounting, shared with every loaded chunk so buffers that
   /// outlive eviction (still pinned by a cursor) keep counting as resident.
   struct Residency {
@@ -106,35 +152,85 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
 
   struct ChunkData {
     Columns cols;
+    /// Null until load_chunk fully validated the chunk and bumped the
+    /// resident counter — the destructor's decrement is armed only then,
+    /// so a throw mid-load cannot underflow the counter.
     std::shared_ptr<Residency> residency;
     ~ChunkData();
   };
 
+  struct CacheEntry {
+    std::shared_ptr<const ChunkData> data;
+    std::list<std::size_t>::iterator lru_it;
+    /// Inserted by the prefetch thread and not yet demanded.
+    bool prefetched = false;
+  };
+
+  struct Inflight {
+    std::shared_future<std::shared_ptr<const ChunkData>> fut;
+    bool prefetch = false;
+  };
+
+  static constexpr std::size_t kNoChunk =
+      std::numeric_limits<std::size_t>::max();
+
   void push_row(const trace::Record& r);
   void maybe_flush();
   void flush_open_chunk();
-  std::string chunk_path(std::size_t index) const;
+  template <typename T>
+  void write_col_v2(std::ostream& os, const std::vector<T>& col, Col id);
   std::shared_ptr<const ChunkData> load_chunk(std::size_t index) const;
+  /// Cache lookup / shared in-flight wait / off-lock load. Returns null
+  /// only on the prefetch path when the chunk is already cached or being
+  /// loaded by someone else.
+  std::shared_ptr<const ChunkData> acquire_chunk(std::size_t index,
+                                                 bool for_prefetch) const;
+  /// Drop LRU victims until cached + in-flight fits the cap (mu_ held).
+  void make_room_locked() const;
+  void evict_lru_back_locked() const;
+  void maybe_schedule_prefetch(std::size_t just_served) const;
+  void prefetch_loop();
   ChunkColumns view_of(const ChunkData& data, std::size_t base) const;
 
   Options opts_;
+  std::string dir_;  ///< per-instance subdirectory of opts_.dir
   bool has_aux_ = false;
   bool aux_decided_ = false;
   bool finalized_ = false;
   std::size_t total_rows_ = 0;
   std::size_t chunks_written_ = 0;
+  std::int16_t max_fs_ = -1;
   Columns open_;
+
+  // Write-side stats (single writer thread, read only after finalize).
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t col_raw_[kNumCols] = {};
+  std::uint64_t col_stored_[kNumCols] = {};
 
   std::shared_ptr<Residency> residency_;
   mutable std::mutex mu_;
   mutable std::list<std::size_t> lru_;  // front = most recently used
-  mutable std::unordered_map<
-      std::size_t, std::pair<std::shared_ptr<const ChunkData>,
-                             std::list<std::size_t>::iterator>>
-      cache_;
+  mutable std::unordered_map<std::size_t, CacheEntry> cache_;
+  mutable std::unordered_map<std::size_t, Inflight> inflight_;
+  mutable std::size_t last_seq_chunk_ = kNoChunk;  // guarded by mu_
+
+  // Prefetch thread state. pf_target_ holds at most the single next chunk
+  // (newer sequential progress overwrites it — double buffering, not a
+  // queue).
+  std::thread prefetch_thread_;
+  mutable std::mutex pf_mu_;
+  mutable std::condition_variable pf_cv_;
+  mutable std::size_t pf_target_ = kNoChunk;
+  bool pf_stop_ = false;
+
   mutable std::atomic<std::uint64_t> loads_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> prefetch_issued_{0};
+  mutable std::atomic<std::uint64_t> prefetch_hits_{0};
+  mutable std::atomic<std::uint64_t> prefetch_wasted_{0};
+  mutable std::atomic<std::uint64_t> bytes_read_{0};
 };
 
 }  // namespace wasp::analysis

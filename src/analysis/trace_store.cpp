@@ -1,6 +1,17 @@
 #include "analysis/trace_store.hpp"
 
+#include <algorithm>
+
 namespace wasp::analysis {
+
+std::int16_t TraceStore::max_fs() const {
+  std::int16_t m = -1;
+  Cursor cs(*this);
+  for (std::size_t i = 0, n = size(); i < n; ++i) {
+    m = std::max(m, cs.file(i).fs);
+  }
+  return m;
+}
 
 trace::Record TraceStore::row(std::size_t i) const {
   const ChunkHandle h = chunk(i / chunk_rows());

@@ -16,10 +16,53 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "trace/record.hpp"
 
 namespace wasp::analysis {
+
+/// Backend I/O counters, exposed uniformly through TraceStore so tools and
+/// benchmarks can report where analysis wall-clock went. The in-memory
+/// backend reports all-zero; the spill backend fills every field.
+struct IoStats {
+  std::uint64_t chunk_loads = 0;      ///< chunk files read + decoded
+  std::uint64_t cache_hits = 0;       ///< chunk() served without a disk read
+  std::uint64_t evictions = 0;        ///< chunks dropped from the LRU
+  std::uint64_t prefetch_issued = 0;  ///< background read-ahead loads
+  std::uint64_t prefetch_hits = 0;    ///< demand fetches served by read-ahead
+  std::uint64_t prefetch_wasted = 0;  ///< prefetched chunks evicted unused
+  std::uint64_t bytes_written = 0;    ///< chunk-file bytes on disk
+  std::uint64_t bytes_read = 0;       ///< chunk-file bytes read back
+  std::uint64_t raw_bytes = 0;        ///< uncompressed column payload bytes
+
+  struct ColumnStats {
+    const char* name;            ///< column name ("tstart", "op", ...)
+    std::uint64_t raw_bytes;     ///< fixed-width array size
+    std::uint64_t stored_bytes;  ///< encoded size on disk (incl. tag+len)
+  };
+  std::vector<ColumnStats> columns;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = cache_hits + chunk_loads;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+  double prefetch_hit_rate() const noexcept {
+    return prefetch_issued == 0
+               ? 0.0
+               : static_cast<double>(prefetch_hits) /
+                     static_cast<double>(prefetch_issued);
+  }
+  /// Stored/raw over every column payload; 1.0 when uncompressed (or no
+  /// spill traffic at all).
+  double compressed_ratio() const noexcept {
+    return raw_bytes == 0 ? 1.0
+                          : static_cast<double>(bytes_written) /
+                                static_cast<double>(raw_bytes);
+  }
+};
 
 /// Borrowed columnar view of one storage chunk: rows [base, base + rows).
 /// Pointers index chunk-locally: column[i - base] for a global row i.
@@ -71,6 +114,17 @@ class TraceStore {
     const std::size_t n = size();
     return n == 0 ? 0 : (n - 1) / chunk_rows() + 1;
   }
+
+  /// Largest fs registry index across all rows (-1 when every row is
+  /// file-less or the store is empty). The base implementation scans the
+  /// whole trace through a cursor; backends that track it during append
+  /// override to answer in O(1) — for a spill store that saves one full
+  /// serial pass over every chunk file per analyze() call.
+  virtual std::int16_t max_fs() const;
+
+  /// Backend I/O counters (loads, cache behavior, bytes, compression).
+  /// Purely in-memory backends report the default all-zero stats.
+  virtual IoStats io_stats() const { return {}; }
 
   /// Reconstruct one row (serial post-merge resolution, tests, CSV export).
   trace::Record row(std::size_t i) const;

@@ -59,6 +59,7 @@ RunOutput run_spilled(runtime::Simulation& sim, const Workload& workload,
                                       : policy.dir + "/" + name;
   store_opts.chunk_rows = policy.chunk_rows;
   store_opts.max_resident_chunks = policy.max_resident_chunks;
+  store_opts.compress = policy.compress;
   analysis::SpillColumnStore store(store_opts);
 
   sim.tracer().set_sink(&store, policy.flush_rows);

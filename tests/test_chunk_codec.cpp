@@ -1,0 +1,168 @@
+// Unit tests for the WSPCHK02 per-column codecs: widen/narrow round trips
+// across signed and enum types, varint/zigzag edge values, delta and RLE
+// encode/decode, and defensive rejection of corrupt payloads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analysis/chunk_codec.hpp"
+#include "trace/record.hpp"
+#include "util/error.hpp"
+
+namespace wasp::analysis::codec {
+namespace {
+
+TEST(ChunkCodec, WidenNarrowRoundTripsSignedAndEnums) {
+  for (std::int32_t v : {0, 1, -1, 42, -12345,
+                         std::numeric_limits<std::int32_t>::min(),
+                         std::numeric_limits<std::int32_t>::max()}) {
+    EXPECT_EQ(narrow<std::int32_t>(widen(v)), v);
+  }
+  for (std::int16_t v : {std::int16_t{-1}, std::int16_t{0}, std::int16_t{7},
+                         std::numeric_limits<std::int16_t>::min()}) {
+    EXPECT_EQ(narrow<std::int16_t>(widen(v)), v);
+  }
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                          std::numeric_limits<std::uint64_t>::max()}) {
+    EXPECT_EQ(narrow<std::uint64_t>(widen(v)), v);
+  }
+  EXPECT_EQ(narrow<trace::Op>(widen(trace::Op::kWrite)), trace::Op::kWrite);
+  EXPECT_EQ(narrow<trace::Iface>(widen(trace::Iface::kMpiio)),
+            trace::Iface::kMpiio);
+  // Negative values widen to their bit pattern, never truncate.
+  EXPECT_EQ(widen(std::int16_t{-1}), 0xffffull);
+  EXPECT_EQ(widen(std::int32_t{-1}), 0xffffffffull);
+}
+
+TEST(ChunkCodec, VarintRoundTripsEdgeValues) {
+  const std::uint64_t cases[] = {0,   1,    127,        128,
+                                 255, 300,  16383,      16384,
+                                 (1ull << 32) - 1,      1ull << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t v : cases) put_varint(buf, v);
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = buf.data() + buf.size();
+  for (std::uint64_t v : cases) {
+    EXPECT_EQ(get_varint(p, end), v);
+  }
+  EXPECT_EQ(p, end);
+  // One byte per value <= 127, ten bytes at the top end.
+  std::vector<std::uint8_t> one;
+  put_varint(one, 127);
+  EXPECT_EQ(one.size(), 1u);
+  std::vector<std::uint8_t> ten;
+  put_varint(ten, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(ChunkCodec, VarintRejectsTruncationAndOverlongEncodings) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1ull << 40);  // multi-byte
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    const std::uint8_t* p = buf.data();
+    EXPECT_THROW(get_varint(p, p + cut), util::SimError) << "cut " << cut;
+  }
+  // Eleven continuation bytes can never be a valid 64-bit varint.
+  const std::vector<std::uint8_t> overlong(11, 0x80);
+  const std::uint8_t* p = overlong.data();
+  EXPECT_THROW(get_varint(p, p + overlong.size()), util::SimError);
+}
+
+TEST(ChunkCodec, ZigzagOrdersSmallMagnitudesFirst) {
+  EXPECT_EQ(zigzag(0), 0u);
+  EXPECT_EQ(zigzag(-1), 1u);
+  EXPECT_EQ(zigzag(1), 2u);
+  EXPECT_EQ(zigzag(-2), 3u);
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                         std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+}
+
+TEST(ChunkCodec, DeltaRoundTripsAndCompressesMonotoneColumns) {
+  // A monotone "tstart"-like column with small steps.
+  std::vector<std::uint64_t> vals;
+  std::uint64_t t = 1ull << 50;
+  for (int i = 0; i < 1000; ++i) {
+    t += 17 + static_cast<std::uint64_t>(i % 5);
+    vals.push_back(t);
+  }
+  const auto enc = encode_delta(vals.data(), vals.size());
+  // ~2 bytes/value after the first: far below the 8-byte raw footprint.
+  EXPECT_LT(enc.size(), vals.size() * 3);
+  std::vector<std::uint64_t> out(vals.size());
+  decode_delta(enc.data(), enc.size(), out.data(), out.size());
+  EXPECT_EQ(out, vals);
+}
+
+TEST(ChunkCodec, DeltaHandlesWrapAndExtremes) {
+  const std::vector<std::uint64_t> vals = {
+      std::numeric_limits<std::uint64_t>::max(), 0, 5,
+      std::numeric_limits<std::uint64_t>::max(), 1, 1};
+  const auto enc = encode_delta(vals.data(), vals.size());
+  std::vector<std::uint64_t> out(vals.size());
+  decode_delta(enc.data(), enc.size(), out.data(), out.size());
+  EXPECT_EQ(out, vals);
+}
+
+TEST(ChunkCodec, DeltaRejectsTruncatedAndTrailingPayloads) {
+  const std::vector<std::uint64_t> vals = {10, 20, 30, 40};
+  const auto enc = encode_delta(vals.data(), vals.size());
+  std::vector<std::uint64_t> out(vals.size());
+  // Truncated: fewer bytes than values.
+  EXPECT_THROW(decode_delta(enc.data(), enc.size() - 1, out.data(), 4),
+               util::SimError);
+  // Trailing garbage after the expected count.
+  auto padded = enc;
+  padded.push_back(0);
+  EXPECT_THROW(decode_delta(padded.data(), padded.size(), out.data(), 4),
+               util::SimError);
+}
+
+TEST(ChunkCodec, RleRoundTripsAndCollapsesRuns) {
+  std::vector<std::uint64_t> vals(5000, 3);
+  for (std::size_t i = 2000; i < 3000; ++i) vals[i] = 7;
+  const auto enc = encode_rle(vals.data(), vals.size());
+  EXPECT_LT(enc.size(), 16u);  // three (run, value) pairs
+  std::vector<std::uint64_t> out(vals.size());
+  decode_rle(enc.data(), enc.size(), out.data(), out.size());
+  EXPECT_EQ(out, vals);
+
+  // Worst case (no runs) still round-trips.
+  std::vector<std::uint64_t> mixed;
+  for (std::uint64_t i = 0; i < 257; ++i) mixed.push_back(i * 1315423911u);
+  const auto enc2 = encode_rle(mixed.data(), mixed.size());
+  std::vector<std::uint64_t> out2(mixed.size());
+  decode_rle(enc2.data(), enc2.size(), out2.data(), out2.size());
+  EXPECT_EQ(out2, mixed);
+}
+
+TEST(ChunkCodec, RleRejectsMalformedRuns) {
+  std::vector<std::uint64_t> out(10);
+  // Run length 0 is never produced by the encoder.
+  std::vector<std::uint8_t> zero_run;
+  put_varint(zero_run, 0);
+  put_varint(zero_run, 42);
+  EXPECT_THROW(decode_rle(zero_run.data(), zero_run.size(), out.data(), 10),
+               util::SimError);
+  // Run overflowing the expected row count.
+  std::vector<std::uint8_t> too_long;
+  put_varint(too_long, 11);
+  put_varint(too_long, 42);
+  EXPECT_THROW(decode_rle(too_long.data(), too_long.size(), out.data(), 10),
+               util::SimError);
+  // Payload ends before producing all rows.
+  std::vector<std::uint8_t> short_payload;
+  put_varint(short_payload, 4);
+  put_varint(short_payload, 42);
+  EXPECT_THROW(
+      decode_rle(short_payload.data(), short_payload.size(), out.data(), 10),
+      util::SimError);
+}
+
+}  // namespace
+}  // namespace wasp::analysis::codec

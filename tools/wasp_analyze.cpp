@@ -5,10 +5,14 @@
 //   wasp_analyze <trace.wtrc> [--phases] [--files N] [--hist] [--jobs N]
 //                [--backend memory|spill] [--spill-dir DIR]
 //                [--chunk-rows N] [--max-resident-chunks N]
+//                [--no-compress] [--stats]
 //
 // --backend spill streams the log through a SpillColumnStore (columnar
-// chunk files + bounded LRU) instead of materializing it; the profile
-// output is byte-identical to the memory backend.
+// chunk files + bounded LRU + sequential prefetch) instead of
+// materializing it; the profile output is byte-identical to the memory
+// backend, with or without chunk compression (--no-compress writes raw
+// WSPCHK01 chunk files). --stats appends the backend's IoStats: cache
+// behavior, prefetch hit rate, and per-column compression ratios.
 #include <unistd.h>
 
 #include <algorithm>
@@ -28,7 +32,9 @@ namespace {
 analysis::WorkloadProfile analyze_spill(const std::string& trace_path,
                                         std::string spill_dir,
                                         std::size_t chunk_rows,
-                                        std::size_t max_resident) {
+                                        std::size_t max_resident,
+                                        bool compress,
+                                        analysis::IoStats* io_out) {
   trace::LogReader reader(trace_path);
   const trace::LogHeader& h = reader.header();
   if (spill_dir.empty()) {
@@ -40,6 +46,7 @@ analysis::WorkloadProfile analyze_spill(const std::string& trace_path,
   opts.dir = spill_dir;
   opts.chunk_rows = chunk_rows;
   opts.max_resident_chunks = max_resident;
+  opts.compress = compress;
   analysis::SpillColumnStore store(opts);
 
   std::vector<trace::Record> records;
@@ -74,7 +81,41 @@ analysis::WorkloadProfile analyze_spill(const std::string& trace_path,
             << opts.max_resident_chunks << " resident chunks, "
             << store.chunk_loads() << " loads, " << store.chunk_evictions()
             << " evictions\n";
+  if (io_out != nullptr) *io_out = store.io_stats();
   return profile;
+}
+
+void print_io_stats(const analysis::IoStats& io) {
+  std::cout << "\nspill backend I/O:\n"
+            << "  chunk loads:    " << io.chunk_loads << " ("
+            << io.cache_hits << " cache hits, "
+            << util::format_percent(io.hit_rate()) << " hit rate)\n"
+            << "  evictions:      " << io.evictions << "\n"
+            << "  prefetch:       " << io.prefetch_issued << " issued, "
+            << io.prefetch_hits << " hits ("
+            << util::format_percent(io.prefetch_hit_rate())
+            << " hit rate), " << io.prefetch_wasted << " wasted\n"
+            << "  chunk bytes:    " << util::format_bytes(io.bytes_written)
+            << " written, " << util::format_bytes(io.bytes_read)
+            << " read back\n"
+            << "  compression:    " << util::format_bytes(io.raw_bytes)
+            << " raw -> " << util::format_bytes(io.bytes_written)
+            << " on disk ("
+            << util::format_percent(io.compressed_ratio()) << " of raw)\n";
+  if (!io.columns.empty()) {
+    util::TablePrinter cols("per-column compression");
+    cols.set_header({"column", "raw", "stored", "ratio"});
+    for (const auto& c : io.columns) {
+      cols.add_row({c.name, util::format_bytes(c.raw_bytes),
+                    util::format_bytes(c.stored_bytes),
+                    util::format_percent(
+                        c.raw_bytes == 0
+                            ? 1.0
+                            : static_cast<double>(c.stored_bytes) /
+                                  static_cast<double>(c.raw_bytes))});
+    }
+    cols.print(std::cout);
+  }
 }
 
 }  // namespace
@@ -84,11 +125,13 @@ int main(int argc, char** argv) {
     std::cerr << "usage: wasp_analyze <trace.wtrc> [--phases] [--files N]"
                  " [--hist] [--jobs N] [--backend memory|spill]"
                  " [--spill-dir DIR] [--chunk-rows N]"
-                 " [--max-resident-chunks N]\n";
+                 " [--max-resident-chunks N] [--no-compress] [--stats]\n";
     return 2;
   }
   bool show_phases = false;
   bool show_hist = false;
+  bool show_stats = false;
+  bool compress = true;
   std::size_t show_files = 0;
   std::string backend = "memory";
   std::string spill_dir;
@@ -100,6 +143,10 @@ int main(int argc, char** argv) {
       show_phases = true;
     } else if (arg == "--hist") {
       show_hist = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--no-compress") {
+      compress = false;
     } else if (arg == "--files" && i + 1 < argc) {
       show_files = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -120,8 +167,10 @@ int main(int argc, char** argv) {
   }
 
   analysis::WorkloadProfile profile;
+  analysis::IoStats io;
   if (backend == "spill") {
-    profile = analyze_spill(argv[1], spill_dir, chunk_rows, max_resident);
+    profile = analyze_spill(argv[1], spill_dir, chunk_rows, max_resident,
+                            compress, &io);
   } else {
     const auto log = trace::read_log(argv[1]);
     std::cerr << "loaded " << log.records.size() << " records, "
@@ -192,6 +241,13 @@ int main(int argc, char** argv) {
       std::cout << "  " << profile.read_hist.bucket_label(b) << ": "
                 << profile.read_hist.count(b) << " | "
                 << profile.write_hist.count(b) << "\n";
+    }
+  }
+  if (show_stats) {
+    if (backend == "spill") {
+      print_io_stats(io);
+    } else {
+      std::cout << "\nspill backend I/O: none (memory backend)\n";
     }
   }
   return 0;
