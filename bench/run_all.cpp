@@ -10,10 +10,12 @@
 // finishes in seconds anywhere; --scale paper runs the full Table I scale.
 // --backend spill routes every pipeline and sweep through the spill-to-disk
 // trace store (bounded-memory analysis); each BENCH_results.json entry
-// records which backend produced it, and spill-backed workload entries
-// carry the store's IoStats (cache/prefetch behavior, compressed vs raw
-// chunk bytes). --no-compress writes raw WSPCHK01 chunk files instead of
-// the compressed WSPCHK02 format.
+// records which backend produced it. Every workload entry carries an "io"
+// block (the store's IoStats — cache/prefetch behavior, compressed vs raw
+// chunk bytes; zeroed with "present": false for the memory backend) and a
+// "telemetry" block (registry deltas: engine events, analyzer pass time,
+// pool queue-wait). --no-compress writes raw WSPCHK01 chunk files instead
+// of the compressed WSPCHK02 format.
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -27,6 +29,7 @@
 #include "advisor/rules.hpp"
 #include "analysis/spill_store.hpp"
 #include "bench_util.hpp"
+#include "obs/obs.hpp"
 #include "workloads/cosmoflow.hpp"
 #include "workloads/montage_mpi.hpp"
 #include "workloads/registry.hpp"
@@ -51,6 +54,7 @@ struct WorkloadMetrics {
   double analyzer_rows_per_sec = 0.0;
   bool compress = true;
   analysis::IoStats io;  // all-zero for the memory backend
+  obs::Snapshot telemetry;  // registry delta over this entry's run
 };
 
 struct SweepMetrics {
@@ -60,6 +64,7 @@ struct SweepMetrics {
   double jobs1_seconds = 0.0;
   double jobsN_seconds = 0.0;
   double speedup = 0.0;
+  obs::Snapshot telemetry;  // registry delta over both runs
 };
 
 /// The run_with() pipeline with a stopwatch between the simulate and
@@ -72,6 +77,7 @@ WorkloadMetrics measure_workload(const std::string& name,
                                  const runtime::SpillPolicy* policy) {
   WorkloadMetrics m;
   m.name = name;
+  const obs::Snapshot before = obs::Registry::instance().snapshot();
   runtime::Simulation sim(spec);
 
   std::unique_ptr<analysis::SpillColumnStore> store;
@@ -125,6 +131,7 @@ WorkloadMetrics measure_workload(const std::string& name,
     m.analyzer_rows_per_sec =
         static_cast<double>(m.trace_rows) / m.analyze_seconds;
   }
+  m.telemetry = obs::Registry::instance().snapshot().delta(before);
   return m;
 }
 
@@ -198,6 +205,7 @@ SweepMetrics measure_sweep(const std::string& name,
   SweepMetrics m;
   m.name = name;
   m.scenarios = scenarios.size();
+  const obs::Snapshot before = obs::Registry::instance().snapshot();
   runtime::ScenarioRunner runner1(1);
   runtime::ScenarioRunner runnerN(jobs);
   if (policy != nullptr) {
@@ -214,6 +222,7 @@ SweepMetrics measure_sweep(const std::string& name,
   (void)workloads::run_many(scenarios, runnerN);
   m.jobsN_seconds = elapsed_sec(t0);
   m.speedup = m.jobsN_seconds > 0 ? m.jobs1_seconds / m.jobsN_seconds : 0.0;
+  m.telemetry = obs::Registry::instance().snapshot().delta(before);
   return m;
 }
 
@@ -221,6 +230,23 @@ std::string json_num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+/// Fixed-key registry excerpt per entry. The keys are emitted whether or
+/// not the counters exist (WASP_OBS=OFF snapshots are empty -> all zeros),
+/// so the schema never depends on the build config. pool.queue_wait_ns is
+/// the per-task queue-wait evidence behind the sweeps' --jobs speedups.
+void write_telemetry_block(std::ostream& os, const obs::Snapshot& t) {
+  os << "\"telemetry\": {"
+     << "\"engine_events\": " << t.value("engine.events") << ", "
+     << "\"engine_run_ns\": " << t.value("engine.run_ns") << ", "
+     << "\"analyze_rows\": " << t.value("analyze.rows") << ", "
+     << "\"analyze_ns\": " << t.value("analyze.ns") << ", "
+     << "\"pool_tasks\": " << t.value("pool.tasks") << ", "
+     << "\"pool_queue_wait_ns\": " << t.value("pool.queue_wait_ns") << ", "
+     << "\"pool_queue_wait_count\": " << t.hist_count("pool.queue_wait_ns")
+     << ", "
+     << "\"pool_task_run_ns\": " << t.value("pool.task_run_ns") << "}";
 }
 
 }  // namespace
@@ -262,6 +288,11 @@ int main(int argc, char** argv) {
     policy = &spill_policy;
   }
 
+  // Per-entry telemetry blocks are part of the output schema, so section
+  // timing is always on here (two clock reads per pool task — noise next
+  // to the work being timed).
+  obs::Registry::set_timing_enabled(true);
+
   std::cerr << "run_all: scale=" << (paper_scale ? "paper" : "test")
             << " jobs=" << jobs << " backend=" << backend << "\n";
 
@@ -290,7 +321,7 @@ int main(int argc, char** argv) {
 
   std::ofstream os(out_path);
   os << "{\n";
-  os << "  \"schema\": \"wasp-bench-results-v1\",\n";
+  os << "  \"schema\": \"wasp-bench-results-v2\",\n";
   os << "  \"scale\": \"" << (paper_scale ? "paper" : "test") << "\",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"hardware_threads\": "
@@ -306,8 +337,13 @@ int main(int argc, char** argv) {
        << "\"trace_rows\": " << m.trace_rows << ", "
        << "\"events_per_sec\": " << json_num(m.events_per_sec) << ", "
        << "\"analyzer_rows_per_sec\": " << json_num(m.analyzer_rows_per_sec);
-    if (m.backend == "spill") {
+    // The io block is emitted for every entry — "present" distinguishes
+    // real spill-backend stats from the memory backend's zeros, so the
+    // schema is identical across backends.
+    {
       os << ", \"io\": {"
+         << "\"present\": " << (m.backend == "spill" ? "true" : "false")
+         << ", "
          << "\"compress\": " << (m.compress ? "true" : "false") << ", "
          << "\"chunk_loads\": " << m.io.chunk_loads << ", "
          << "\"cache_hits\": " << m.io.cache_hits << ", "
@@ -323,6 +359,8 @@ int main(int argc, char** argv) {
          << "\"compressed_ratio\": " << json_num(m.io.compressed_ratio())
          << "}";
     }
+    os << ", ";
+    write_telemetry_block(os, m.telemetry);
     os << "}" << (i + 1 < workload_metrics.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
@@ -334,8 +372,9 @@ int main(int argc, char** argv) {
        << "\"scenarios\": " << m.scenarios << ", "
        << "\"jobs1_seconds\": " << json_num(m.jobs1_seconds) << ", "
        << "\"jobsN_seconds\": " << json_num(m.jobsN_seconds) << ", "
-       << "\"speedup\": " << json_num(m.speedup) << "}"
-       << (i + 1 < sweep_metrics.size() ? "," : "") << "\n";
+       << "\"speedup\": " << json_num(m.speedup) << ", ";
+    write_telemetry_block(os, m.telemetry);
+    os << "}" << (i + 1 < sweep_metrics.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";

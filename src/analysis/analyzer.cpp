@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/units.hpp"
@@ -25,6 +26,31 @@
 
 namespace wasp::analysis {
 namespace {
+
+/// Analyzer telemetry: per-pass wall time (TimerGuard — timing-gated) plus
+/// the rows-processed counter that rows/sec derives from. Spans with the
+/// same names mark the passes on the trace timeline.
+struct AnalyzerMetrics {
+  obs::Counter rows = obs::Registry::instance().counter("analyze.rows");
+  obs::Counter total_ns = obs::Registry::instance().counter("analyze.ns");
+  obs::Counter scan_ns =
+      obs::Registry::instance().counter("analyze.scan_ns");
+  obs::Counter merge_ns =
+      obs::Registry::instance().counter("analyze.merge_ns");
+  obs::Counter resolve_ns =
+      obs::Registry::instance().counter("analyze.resolve_ns");
+  obs::Counter unions_ns =
+      obs::Registry::instance().counter("analyze.unions_ns");
+  obs::Counter phases_ns =
+      obs::Registry::instance().counter("analyze.phases_ns");
+  obs::Counter timeline_ns =
+      obs::Registry::instance().counter("analyze.timeline_ns");
+};
+
+const AnalyzerMetrics& analyzer_metrics() {
+  static const AnalyzerMetrics m;
+  return m;
+}
 
 /// Analysis-scope file identity: node-local files with the same inode id on
 /// different nodes are distinct.
@@ -370,6 +396,10 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   const int jobs = util::resolve_jobs(opts_.jobs);
   const std::size_t grain = opts_.chunk_rows > 0 ? opts_.chunk_rows : 65536;
   if (store.size() == 0) return p;
+  WASP_OBS_SPAN("analyze");
+  const AnalyzerMetrics& om = analyzer_metrics();
+  obs::TimerGuard total_timer(om.total_ns);
+  om.rows.add(store.size());
   util::ThreadPool pool(jobs - 1);
 
   // Filesystem-shared lookup table, resolved up front on this thread: the
@@ -385,10 +415,15 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   }
 
   // --- Map: scan chunks in parallel -------------------------------------
-  std::vector<ChunkState> parts = pool.map_chunks(
-      store.size(), grain, [&](const util::ChunkRange& range) {
-        return scan_chunk(store, range, input.app_names, fs_is_shared);
-      });
+  std::vector<ChunkState> parts;
+  {
+    WASP_OBS_SPAN("analyze.scan");
+    obs::TimerGuard t(om.scan_ns);
+    parts = pool.map_chunks(
+        store.size(), grain, [&](const util::ChunkRange& range) {
+          return scan_chunk(store, range, input.app_names, fs_is_shared);
+        });
+  }
 
   // --- Reduce: merge partials in chunk-index order ----------------------
   sim::Time job_t0 = parts.front().job_t0;
@@ -411,6 +446,9 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   std::vector<std::vector<Interval>> write_iv(p.write_hist.num_buckets());
   std::map<std::uint16_t, std::vector<std::size_t>> io_by_app;
 
+  {
+  WASP_OBS_SPAN("analyze.merge");
+  obs::TimerGuard t(om.merge_ns);
   for (ChunkState& c : parts) {
     job_t0 = std::min(job_t0, c.job_t0);
     job_t1 = std::max(job_t1, c.job_t1);
@@ -481,8 +519,12 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
     }
   }
   parts.clear();
+  }
   p.job_runtime_sec = sim::to_seconds(job_t1 - job_t0);
 
+  {
+  WASP_OBS_SPAN("analyze.resolve");
+  obs::TimerGuard t(om.resolve_ns);
   // Resolve per-file paths and sizes from each file's first record — these
   // callbacks may touch lazily-built filesystem state, so they run here,
   // serially, not in the chunk workers.
@@ -551,11 +593,14 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   }
   p.num_procs = static_cast<int>(procs.size());
   p.num_nodes = static_cast<int>(nodes.size());
+  }
 
   // I/O-time fractions: wall-clock coverage (Table I) and per-rank mean.
   // The interval unions (one per histogram bucket plus the global one) are
   // independent sort+sweep reductions — one task each, results by slot.
   {
+    WASP_OBS_SPAN("analyze.unions");
+    obs::TimerGuard t(om.unions_ns);
     const std::size_t nb = read_iv.size();
     std::vector<double> unions(1 + 2 * nb, 0.0);
     pool.run(unions.size(), [&](std::size_t t) {
@@ -590,6 +635,8 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   // map in parallel, results concatenate in app-id order (the merged
   // io_by_app row lists are already ascending, matching the serial pass).
   {
+    WASP_OBS_SPAN("analyze.phases");
+    obs::TimerGuard t(om.phases_ns);
     std::vector<std::pair<std::uint16_t, std::vector<std::size_t>*>> by_app;
     by_app.reserve(io_by_app.size());
     for (auto& [aid, idx] : io_by_app) by_app.push_back({aid, &idx});
@@ -687,6 +734,8 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   // Needs the job extent, so it is a second chunked pass: per-chunk bin
   // vectors, added together in chunk-index order.
   {
+    WASP_OBS_SPAN("analyze.timeline");
+    obs::TimerGuard t(om.timeline_ns);
     sim::Time bin = opts_.timeline_bin;
     const sim::Time span = job_t1 - job_t0;
     if (span / bin + 1 > opts_.max_timeline_bins) {

@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "analysis/chunk_codec.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace wasp::analysis {
@@ -307,15 +308,19 @@ void SpillColumnStore::flush_open_chunk() {
   }
   os.flush();
   WASP_CHECK_MSG(os.good(), "short write to spill chunk: " + path);
-  bytes_written_ += static_cast<std::uint64_t>(os.tellp());
-  raw_bytes_ = 0;
-  for (std::size_t c = 0; c < kNumCols; ++c) raw_bytes_ += col_raw_[c];
+  bytes_written_.add(static_cast<std::uint64_t>(os.tellp()));
+  // Cells are monotonic, so bring raw_bytes_ up to the running col_raw_
+  // total by its delta instead of recomputing from zero.
+  std::uint64_t raw_total = 0;
+  for (std::size_t c = 0; c < kNumCols; ++c) raw_total += col_raw_[c];
+  raw_bytes_.add(raw_total - raw_bytes_.value());
   open_ = Columns{};
   ++chunks_written_;
 }
 
 std::shared_ptr<const SpillColumnStore::ChunkData> SpillColumnStore::load_chunk(
     std::size_t index) const {
+  WASP_OBS_SPAN("spill.load");
   const std::string path = chunk_file_path(index);
   std::ifstream is(path, std::ios::binary);
   WASP_CHECK_MSG(is.good(), "cannot open spill chunk: " + path);
@@ -383,9 +388,8 @@ std::shared_ptr<const SpillColumnStore::ChunkData> SpillColumnStore::load_chunk(
   }
   WASP_CHECK_MSG(is.good(), "truncated spill chunk: " + path);
 
-  loads_.fetch_add(1, std::memory_order_relaxed);
-  bytes_read_.fetch_add(static_cast<std::uint64_t>(is.tellg()),
-                        std::memory_order_relaxed);
+  loads_.add(1);
+  bytes_read_.add(static_cast<std::uint64_t>(is.tellg()));
   const std::size_t now =
       residency_->resident.fetch_add(1, std::memory_order_relaxed) + 1;
   // Only arm the destructor's decrement once the increment happened — a
@@ -405,11 +409,11 @@ void SpillColumnStore::evict_lru_back_locked() const {
   const auto it = cache_.find(victim);
   if (it != cache_.end()) {
     if (it->second.prefetched) {
-      prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+      prefetch_wasted_.add(1);
     }
     cache_.erase(it);
   }
-  evictions_.fetch_add(1, std::memory_order_relaxed);
+  evictions_.add(1);
 }
 
 void SpillColumnStore::make_room_locked() const {
@@ -429,10 +433,10 @@ SpillColumnStore::acquire_chunk(std::size_t index, bool for_prefetch) const {
     std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = cache_.find(index); it != cache_.end()) {
       if (for_prefetch) return it->second.data;
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.add(1);
       if (it->second.prefetched) {
         it->second.prefetched = false;
-        prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+        prefetch_hits_.add(1);
       }
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.data;
@@ -457,9 +461,9 @@ SpillColumnStore::acquire_chunk(std::size_t index, bool for_prefetch) const {
     // rethrows the loader's exception for corrupt chunks.
     std::shared_ptr<const ChunkData> data = fut.get();
     std::lock_guard<std::mutex> lock(mu_);
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.add(1);
     if (waiting_on_prefetch) {
-      prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+      prefetch_hits_.add(1);
       if (const auto it = cache_.find(index); it != cache_.end()) {
         it->second.prefetched = false;
       }
@@ -491,7 +495,7 @@ SpillColumnStore::acquire_chunk(std::size_t index, bool for_prefetch) const {
       evict_lru_back_locked();
     }
     if (for_prefetch) {
-      prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+      prefetch_issued_.add(1);
     }
   }
   promise.set_value(data);
@@ -516,6 +520,9 @@ void SpillColumnStore::maybe_schedule_prefetch(std::size_t just_served) const {
 }
 
 void SpillColumnStore::prefetch_loop() {
+  if (obs::SpanTracer::instance().enabled()) {
+    obs::SpanTracer::instance().set_thread_name("spill-prefetch");
+  }
   for (;;) {
     std::size_t target;
     {
@@ -597,15 +604,15 @@ std::size_t SpillColumnStore::peak_resident_chunks() const noexcept {
 
 IoStats SpillColumnStore::io_stats() const {
   IoStats s;
-  s.chunk_loads = loads_.load(std::memory_order_relaxed);
-  s.cache_hits = hits_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
-  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
-  s.prefetch_wasted = prefetch_wasted_.load(std::memory_order_relaxed);
-  s.bytes_written = bytes_written_;
-  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
-  s.raw_bytes = raw_bytes_;
+  s.chunk_loads = loads_.value();
+  s.cache_hits = hits_.value();
+  s.evictions = evictions_.value();
+  s.prefetch_issued = prefetch_issued_.value();
+  s.prefetch_hits = prefetch_hits_.value();
+  s.prefetch_wasted = prefetch_wasted_.value();
+  s.bytes_written = bytes_written_.value();
+  s.bytes_read = bytes_read_.value();
+  s.raw_bytes = raw_bytes_.value();
   for (std::size_t c = 0; c < kNumCols; ++c) {
     if (col_raw_[c] == 0) continue;
     s.columns.push_back({kColNames[c], col_raw_[c], col_stored_[c]});

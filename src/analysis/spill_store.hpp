@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "analysis/trace_store.hpp"
+#include "obs/metrics.hpp"
 #include "trace/sink.hpp"
 
 namespace wasp::analysis {
@@ -103,9 +104,11 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
   // --- Observability ------------------------------------------------------
   std::size_t resident_chunks() const noexcept;
   std::size_t peak_resident_chunks() const noexcept;
-  std::uint64_t chunk_loads() const noexcept { return loads_.load(); }
-  std::uint64_t chunk_hits() const noexcept { return hits_.load(); }
-  std::uint64_t chunk_evictions() const noexcept { return evictions_.load(); }
+  std::uint64_t chunk_loads() const noexcept { return loads_.value(); }
+  std::uint64_t chunk_hits() const noexcept { return hits_.value(); }
+  std::uint64_t chunk_evictions() const noexcept {
+    return evictions_.value();
+  }
   std::size_t spilled_chunks() const noexcept { return chunks_written_; }
   const Options& options() const noexcept { return opts_; }
   /// The per-instance directory the chunk files actually live in (a unique
@@ -202,9 +205,8 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
   std::int16_t max_fs_ = -1;
   Columns open_;
 
-  // Write-side stats (single writer thread, read only after finalize).
-  std::uint64_t bytes_written_ = 0;
-  std::uint64_t raw_bytes_ = 0;
+  // Write-side per-column stats (single writer thread, read only after
+  // finalize). The byte totals live in CounterCells below.
   std::uint64_t col_raw_[kNumCols] = {};
   std::uint64_t col_stored_[kNumCols] = {};
 
@@ -224,13 +226,19 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
   mutable std::size_t pf_target_ = kNoChunk;
   bool pf_stop_ = false;
 
-  mutable std::atomic<std::uint64_t> loads_{0};
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> evictions_{0};
-  mutable std::atomic<std::uint64_t> prefetch_issued_{0};
-  mutable std::atomic<std::uint64_t> prefetch_hits_{0};
-  mutable std::atomic<std::uint64_t> prefetch_wasted_{0};
-  mutable std::atomic<std::uint64_t> bytes_read_{0};
+  // I/O counters as registry cells: every increment lands in this
+  // instance's cell — io_stats() and the accessors above read the cell
+  // back (per-instance view, same as the old raw atomics) — while the
+  // registry folds all instances into process-wide "spill.*" totals.
+  mutable obs::CounterCell loads_{"spill.chunk_loads"};
+  mutable obs::CounterCell hits_{"spill.cache_hits"};
+  mutable obs::CounterCell evictions_{"spill.evictions"};
+  mutable obs::CounterCell prefetch_issued_{"spill.prefetch_issued"};
+  mutable obs::CounterCell prefetch_hits_{"spill.prefetch_hits"};
+  mutable obs::CounterCell prefetch_wasted_{"spill.prefetch_wasted"};
+  mutable obs::CounterCell bytes_read_{"spill.bytes_read"};
+  obs::CounterCell bytes_written_{"spill.bytes_written"};
+  obs::CounterCell raw_bytes_{"spill.raw_bytes"};
 };
 
 }  // namespace wasp::analysis

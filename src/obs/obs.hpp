@@ -1,0 +1,16 @@
+// Umbrella header for the telemetry layer: the metrics registry
+// (obs/metrics.hpp — counters, gauges, bounded histograms) and the span
+// tracer (obs/span.hpp — RAII scopes exported as Chrome trace events).
+//
+// Instrumentation sites include this and use:
+//   static const auto c = obs::Registry::instance().counter("engine.events");
+//   c.add(n);                       // always on; uncontended relaxed add
+//   obs::TimerGuard t(ns_counter);  // no-op branch unless timing_enabled()
+//   WASP_OBS_SPAN("analyze.scan");  // no-op branch unless tracer enabled
+//
+// Everything compiles to stubs under -DWASP_OBS_OFF (CMake: -DWASP_OBS=OFF).
+// See DESIGN.md §9 for the model and the overhead budget.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"

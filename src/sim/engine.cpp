@@ -1,6 +1,26 @@
 #include "sim/engine.hpp"
 
+#include "obs/obs.hpp"
+
 namespace wasp::sim {
+namespace {
+
+// Engine telemetry: run-level, never per-event — the event loop stays
+// untouched. events + vtime always accumulate (two relaxed adds per run()
+// call); wall time gates on timing_enabled.
+struct EngineMetrics {
+  obs::Counter events = obs::Registry::instance().counter("engine.events");
+  obs::Counter vtime_ns =
+      obs::Registry::instance().counter("engine.vtime_ns");
+  obs::Counter run_ns = obs::Registry::instance().counter("engine.run_ns");
+};
+
+const EngineMetrics& engine_metrics() {
+  static const EngineMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Engine::~Engine() {
   // Destroy any still-suspended root coroutines (e.g., after run_until hit
@@ -32,6 +52,11 @@ void Engine::check_root_errors() {
 }
 
 void Engine::run() {
+  WASP_OBS_SPAN("engine.run");
+  const EngineMetrics& m = engine_metrics();
+  obs::TimerGuard wall(m.run_ns);
+  const std::uint64_t events0 = events_;
+  const Time now0 = now_;
   while (!queue_.empty()) {
     Item item = queue_.top();
     queue_.pop();
@@ -39,10 +64,17 @@ void Engine::run() {
     ++events_;
     item.h.resume();
   }
+  m.events.add(events_ - events0);
+  m.vtime_ns.add(now_ - now0);
   check_root_errors();
 }
 
 bool Engine::run_until(Time limit) {
+  WASP_OBS_SPAN("engine.run");
+  const EngineMetrics& m = engine_metrics();
+  obs::TimerGuard wall(m.run_ns);
+  const std::uint64_t events0 = events_;
+  const Time now0 = now_;
   while (!queue_.empty() && queue_.top().at <= limit) {
     Item item = queue_.top();
     queue_.pop();
@@ -50,6 +82,8 @@ bool Engine::run_until(Time limit) {
     ++events_;
     item.h.resume();
   }
+  m.events.add(events_ - events0);
+  m.vtime_ns.add(now_ - now0);
   check_root_errors();
   if (queue_.empty()) return true;
   now_ = limit;

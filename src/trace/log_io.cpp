@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <ostream>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace wasp::trace {
@@ -203,6 +204,7 @@ std::size_t LogReader::next_chunk(std::size_t max_rows,
                                   std::vector<Record>& records,
                                   std::vector<std::uint32_t>& path_idx,
                                   std::vector<std::uint64_t>& file_sizes) {
+  WASP_OBS_SPAN("log.read_chunk");
   const auto n = static_cast<std::size_t>(
       std::min<std::uint64_t>(max_rows, remaining_));
   for (std::size_t i = 0; i < n; ++i) {

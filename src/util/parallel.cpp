@@ -2,9 +2,29 @@
 
 #include <cstdlib>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace wasp::util {
+namespace {
+
+// Pool telemetry: per-task queue-wait (batch submission -> task start) and
+// task-run wall time. Both gate on Registry::timing_enabled() — the
+// disabled path adds one branch per task, no clock reads.
+struct PoolMetrics {
+  obs::Histogram queue_wait_ns =
+      obs::Registry::instance().histogram("pool.queue_wait_ns");
+  obs::Histogram task_run_ns =
+      obs::Registry::instance().histogram("pool.task_run_ns");
+  obs::Counter tasks = obs::Registry::instance().counter("pool.tasks");
+};
+
+const PoolMetrics& pool_metrics() {
+  static const PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::vector<ChunkRange> make_chunks(std::size_t n, std::size_t grain) {
   std::vector<ChunkRange> chunks;
@@ -47,6 +67,9 @@ int default_jobs() {
 
 void set_default_jobs(int jobs) {
   g_default_jobs.store(jobs > 0 ? jobs : 1, std::memory_order_relaxed);
+  static const obs::Gauge g =
+      obs::Registry::instance().gauge("pool.default_jobs");
+  g.set(jobs > 0 ? jobs : 1);
 }
 
 int resolve_jobs(int jobs) {
@@ -68,6 +91,9 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> done{0};
   std::mutex error_mu;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  /// Telemetry: submission timestamp (0 when timing was disabled at
+  /// submission — workers then skip all clock reads for this batch).
+  std::uint64_t enqueue_ns = 0;
 };
 
 ThreadPool::ThreadPool(int threads) {
@@ -88,6 +114,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  // Label this track in span exports. Only when tracing is live — otherwise
+  // transient pools would accumulate empty retained buffers.
+  if (obs::SpanTracer::instance().enabled()) {
+    obs::SpanTracer::instance().set_thread_name("pool-worker");
+  }
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -110,11 +141,20 @@ void ThreadPool::execute(Batch& b) {
   // workers the caller claims 0,1,2,... — exact sequential order.
   std::size_t i;
   while ((i = b.next.fetch_add(1, std::memory_order_relaxed)) < b.count) {
-    try {
-      (*b.task)(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lk(b.error_mu);
-      b.errors.emplace_back(i, std::current_exception());
+    const std::uint64_t t0 = b.enqueue_ns != 0 ? obs::now_ns() : 0;
+    if (t0 != 0) pool_metrics().queue_wait_ns.add(t0 - b.enqueue_ns);
+    {
+      WASP_OBS_SPAN("pool.task");
+      try {
+        (*b.task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(b.error_mu);
+        b.errors.emplace_back(i, std::current_exception());
+      }
+    }
+    if (t0 != 0) {
+      pool_metrics().task_run_ns.add(obs::now_ns() - t0);
+      pool_metrics().tasks.add(1);
     }
     if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.count) {
       std::lock_guard<std::mutex> lk(mu_);
@@ -136,6 +176,7 @@ void ThreadPool::run(std::size_t count,
   b->id = ++next_batch_id_;
   b->count = count;
   b->task = &task;
+  if (obs::Registry::timing_enabled()) b->enqueue_ns = obs::now_ns();
   {
     std::lock_guard<std::mutex> lk(mu_);
     batch_ = b;

@@ -1,6 +1,7 @@
 #include "workloads/workload.hpp"
 
 #include "analysis/spill_store.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace wasp::workloads {
@@ -93,6 +94,12 @@ std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
     WASP_CHECK_MSG(static_cast<bool>(s.make),
                    "scenario has no workload factory: " + s.name);
     fns.push_back([&s, &runner] {
+      // Interned name: scenario spans carry dynamic labels, and the tracer
+      // needs storage that outlives this lambda.
+      obs::Span span(obs::SpanTracer::instance().enabled()
+                         ? obs::SpanTracer::instance().intern("scenario:" +
+                                                              s.name)
+                         : nullptr);
       runtime::Simulation sim(s.spec);
       if (s.prepare) s.prepare(sim);
       if (runner.spill().has_value()) {

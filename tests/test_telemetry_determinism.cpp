@@ -1,0 +1,99 @@
+// Telemetry must be strictly read-only: enabling the metrics clock and the
+// span tracer cannot perturb a single profile byte, at any job count, on
+// either store backend. Every variant below is compared field-for-field
+// (doubles with operator==) against a baseline computed with telemetry off.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/spill_store.hpp"
+#include "obs/obs.hpp"
+#include "profile_test_util.hpp"
+#include "workloads/registry.hpp"
+
+namespace wasp {
+namespace {
+
+using testutil::expect_profiles_identical;
+
+class TelemetryToggle {
+ public:
+  TelemetryToggle() {
+    obs::Registry::set_timing_enabled(true);
+    obs::SpanTracer::instance().set_enabled(true);
+  }
+  ~TelemetryToggle() {
+    obs::SpanTracer::instance().set_enabled(false);
+    obs::SpanTracer::instance().clear();
+    obs::Registry::set_timing_enabled(false);
+  }
+};
+
+TEST(TelemetryDeterminism, ProfilesIdenticalOnOffAcrossJobsAndBackends) {
+  ASSERT_FALSE(obs::Registry::timing_enabled());
+  ASSERT_FALSE(obs::SpanTracer::instance().enabled());
+
+  runtime::Simulation sim(cluster::lassen(4));
+  const auto out0 = workloads::run_with(
+      sim, workloads::make_montage_mpi(workloads::MontageMpiParams::test()),
+      advisor::RunConfig{}, analysis::Analyzer::Options{});
+  const auto& records = sim.tracer().records();
+  ASSERT_GT(records.size(), 100u);
+
+  analysis::Analyzer::Options o1;
+  o1.jobs = 1;
+  o1.chunk_rows = 23;  // misaligned with storage chunking on purpose
+  analysis::Analyzer::Options o4 = o1;
+  o4.jobs = 4;
+
+  // Baseline: telemetry fully off, memory backend, one job.
+  const auto baseline = analysis::Analyzer(o1).analyze(sim.tracer());
+
+  const auto spill_profile = [&](const analysis::Analyzer::Options& o,
+                                 const char* dir) {
+    analysis::SpillColumnStore store(
+        {.dir = std::string(::testing::TempDir()) + "/" + dir,
+         .chunk_rows = 17,
+         .max_resident_chunks = 3});
+    store.append(records);
+    store.finalize();
+    return analysis::Analyzer(o).analyze(
+        analysis::tracer_input(sim.tracer(), &store));
+  };
+
+  // Telemetry off: both backends, both job counts.
+  expect_profiles_identical(baseline,
+                            analysis::Analyzer(o4).analyze(sim.tracer()));
+  expect_profiles_identical(baseline, spill_profile(o1, "det_off_j1.spill"));
+  expect_profiles_identical(baseline, spill_profile(o4, "det_off_j4.spill"));
+
+  // Telemetry on (metrics clock + span tracer): same four variants.
+  {
+    TelemetryToggle on;
+    expect_profiles_identical(baseline,
+                              analysis::Analyzer(o1).analyze(sim.tracer()));
+    expect_profiles_identical(baseline,
+                              analysis::Analyzer(o4).analyze(sim.tracer()));
+    expect_profiles_identical(baseline, spill_profile(o1, "det_on_j1.spill"));
+    expect_profiles_identical(baseline, spill_profile(o4, "det_on_j4.spill"));
+  }
+
+  // The whole-pipeline variant: a fresh simulation run with telemetry on
+  // must reproduce the baseline run's profile and virtual clock exactly.
+  {
+    TelemetryToggle on;
+    runtime::Simulation sim2(cluster::lassen(4));
+    const auto out2 = workloads::run_with(
+        sim2, workloads::make_montage_mpi(workloads::MontageMpiParams::test()),
+        advisor::RunConfig{}, analysis::Analyzer::Options{});
+    EXPECT_EQ(out0.job_seconds, out2.job_seconds);
+    EXPECT_EQ(out0.engine_events, out2.engine_events);
+    expect_profiles_identical(out0.profile, out2.profile);
+    ASSERT_EQ(sim2.tracer().records().size(), records.size());
+  }
+}
+
+}  // namespace
+}  // namespace wasp

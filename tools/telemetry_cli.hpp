@@ -1,0 +1,48 @@
+// Shared --telemetry/--trace-out plumbing for the CLI tools: enable the
+// relevant obs switches up front, write the snapshot JSON and Chrome trace
+// files at exit. Under -DWASP_OBS_OFF both files are still written (empty
+// schema-stable documents), so scripts never have to special-case the
+// build config.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace wasp::toolcli {
+
+/// Call once after flag parsing. Timing turns on if either output is
+/// requested (the snapshot's *_ns counters stay zero otherwise); span
+/// recording only when a trace file is wanted.
+inline void enable_telemetry(const std::string& telemetry_out,
+                             const std::string& trace_out) {
+  if (!telemetry_out.empty() || !trace_out.empty()) {
+    obs::Registry::set_timing_enabled(true);
+  }
+  if (!trace_out.empty()) {
+    obs::SpanTracer::instance().set_enabled(true);
+    obs::SpanTracer::instance().set_thread_name("main");
+  }
+}
+
+/// Call once before exit; writes whichever outputs were requested.
+inline void write_telemetry(const std::string& telemetry_out,
+                            const std::string& trace_out) {
+  if (!telemetry_out.empty()) {
+    std::ofstream os(telemetry_out);
+    WASP_CHECK_MSG(os.good(), "cannot open telemetry file: " + telemetry_out);
+    obs::Registry::instance().snapshot().write_json(os);
+    std::cerr << "telemetry written to " << telemetry_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    WASP_CHECK_MSG(os.good(), "cannot open trace file: " + trace_out);
+    obs::SpanTracer::instance().write_chrome_trace(os);
+    std::cerr << "trace events written to " << trace_out << "\n";
+  }
+}
+
+}  // namespace wasp::toolcli

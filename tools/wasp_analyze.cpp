@@ -5,7 +5,8 @@
 //   wasp_analyze <trace.wtrc> [--phases] [--files N] [--hist] [--jobs N]
 //                [--backend memory|spill] [--spill-dir DIR]
 //                [--chunk-rows N] [--max-resident-chunks N]
-//                [--no-compress] [--stats]
+//                [--no-compress] [--stats] [--telemetry out.json]
+//                [--trace-out out.trace.json]
 //
 // --backend spill streams the log through a SpillColumnStore (columnar
 // chunk files + bounded LRU + sequential prefetch) instead of
@@ -21,6 +22,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/spill_store.hpp"
+#include "telemetry_cli.hpp"
 #include "trace/log_io.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -125,7 +127,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: wasp_analyze <trace.wtrc> [--phases] [--files N]"
                  " [--hist] [--jobs N] [--backend memory|spill]"
                  " [--spill-dir DIR] [--chunk-rows N]"
-                 " [--max-resident-chunks N] [--no-compress] [--stats]\n";
+                 " [--max-resident-chunks N] [--no-compress] [--stats]"
+                 " [--telemetry FILE] [--trace-out FILE]\n";
     return 2;
   }
   bool show_phases = false;
@@ -135,6 +138,8 @@ int main(int argc, char** argv) {
   std::size_t show_files = 0;
   std::string backend = "memory";
   std::string spill_dir;
+  std::string telemetry_out;
+  std::string spans_out;
   std::size_t chunk_rows = 65536;
   std::size_t max_resident = 8;
   for (int i = 2; i < argc; ++i) {
@@ -159,8 +164,13 @@ int main(int argc, char** argv) {
       chunk_rows = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--max-resident-chunks" && i + 1 < argc) {
       max_resident = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      spans_out = argv[++i];
     }
   }
+  toolcli::enable_telemetry(telemetry_out, spans_out);
   if (backend != "memory" && backend != "spill") {
     std::cerr << "unknown --backend (want memory|spill): " << backend << "\n";
     return 2;
@@ -250,5 +260,6 @@ int main(int argc, char** argv) {
       std::cout << "\nspill backend I/O: none (memory backend)\n";
     }
   }
+  toolcli::write_telemetry(telemetry_out, spans_out);
   return 0;
 }

@@ -3,6 +3,7 @@
 //
 //   wasp_run <workload> [--nodes N] [--optimized] [--trace out.wtrc]
 //            [--yaml out.yaml] [--csv out.csv] [--test-scale] [--jobs N]
+//            [--telemetry out.json] [--trace-out out.trace.json]
 //
 // <workload> is one of: cm1 hacc cosmoflow jag montage-mpi montage-pegasus
 #include <cstring>
@@ -11,6 +12,7 @@
 #include <map>
 
 #include "advisor/rules.hpp"
+#include "telemetry_cli.hpp"
 #include "trace/log_io.hpp"
 #include "util/parallel.hpp"
 #include "workloads/registry.hpp"
@@ -31,7 +33,10 @@ void usage() {
          "  --csv FILE      write the trace as CSV\n"
          "  --yaml FILE     write the characterization YAML"
          " (default: stdout)\n"
-         "  --jobs N        worker threads for the analysis pipeline\n";
+         "  --jobs N        worker threads for the analysis pipeline\n"
+         "  --telemetry F   write the metrics-registry snapshot JSON\n"
+         "  --trace-out F   write pipeline spans as Chrome trace-event"
+         " JSON\n";
 }
 
 const std::map<std::string, std::size_t> kNames = {
@@ -60,6 +65,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string csv_out;
   std::string yaml_out;
+  std::string telemetry_out;
+  std::string spans_out;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -83,11 +90,16 @@ int main(int argc, char** argv) {
       yaml_out = next();
     } else if (arg == "--jobs") {
       util::set_default_jobs(std::stoi(next()));
+    } else if (arg == "--telemetry") {
+      telemetry_out = next();
+    } else if (arg == "--trace-out") {
+      spans_out = next();
     } else {
       usage();
       return 2;
     }
   }
+  toolcli::enable_telemetry(telemetry_out, spans_out);
 
   const auto entry = workloads::paper_workloads()[it->second];
   auto workload = test_scale ? entry.make_test() : entry.make_paper();
@@ -138,5 +150,6 @@ int main(int argc, char** argv) {
     os << yaml;
     std::cerr << "characterization written to " << yaml_out << "\n";
   }
+  toolcli::write_telemetry(telemetry_out, spans_out);
   return 0;
 }

@@ -1,0 +1,348 @@
+// wasp_trace_check — validate a Chrome trace-event JSON file produced by
+// the --trace-out flag (or any tool emitting the same format).
+//
+//   wasp_trace_check <trace.json> [--expect NAME]...
+//
+// Checks, in order:
+//   1. the file parses as JSON and has a "traceEvents" array of objects;
+//   2. every event carries a string "name", a "ph" of "B", "E", or "M",
+//      numeric "pid"/"tid", and (for B/E) a numeric "ts";
+//   3. per (pid, tid) track, B/E timestamps never decrease;
+//   4. B/E events nest LIFO per track with matching names, and every track
+//      is balanced at end of file;
+//   5. every --expect NAME occurred as at least one completed span.
+//
+// Exit 0 when all checks pass (prints a one-line summary), 1 with a
+// diagnostic on the first failure, 2 on usage errors. The JSON parser is
+// self-contained — the tool has no dependency on the wasp library, so it
+// can vet traces from foreign builds too.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal recursive-descent JSON --------------------------------------
+
+struct JValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue* get(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  /// Parses one value plus trailing whitespace; throws std::runtime_error
+  /// (with byte offset) on malformed input.
+  JValue parse() {
+    JValue v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error(msg + " at byte " + std::to_string(pos_));
+  }
+
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JValue value() {
+    ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return word("true", [] (JValue& v) {
+        v.type = JValue::Type::kBool;
+        v.boolean = true;
+      });
+      case 'f': return word("false", [] (JValue& v) {
+        v.type = JValue::Type::kBool;
+        v.boolean = false;
+      });
+      case 'n': return word("null", [] (JValue&) {});
+      default: return number();
+    }
+  }
+
+  template <typename Fill>
+  JValue word(const char* w, Fill fill) {
+    for (const char* p = w; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+    JValue v;
+    fill(v);
+    return v;
+  }
+
+  JValue number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JValue v;
+    v.type = JValue::Type::kNumber;
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  JValue string_value() {
+    JValue v;
+    v.type = JValue::Type::kString;
+    v.str = raw_string();
+    return v;
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // Span names are ASCII; any \u escape decodes to a placeholder.
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          pos_ += 4;
+          out += '?';
+          break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JValue array() {
+    expect('[');
+    JValue v;
+    v.type = JValue::Type::kArray;
+    ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.arr.push_back(value());
+      ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JValue object() {
+    expect('{');
+    JValue v;
+    v.type = JValue::Type::kObject;
+    ws();
+    if (consume('}')) return v;
+    for (;;) {
+      ws();
+      std::string key = raw_string();
+      ws();
+      expect(':');
+      v.obj.emplace(std::move(key), value());
+      ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- Trace validation -----------------------------------------------------
+
+struct Track {
+  double last_ts = 0.0;
+  bool has_ts = false;
+  std::vector<std::string> open;  // B names awaiting their E
+};
+
+int fail_event(std::size_t index, const std::string& msg) {
+  std::cerr << "wasp_trace_check: event " << index << ": " << msg << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: wasp_trace_check <trace.json> [--expect NAME]...\n";
+    return 2;
+  }
+  std::set<std::string> expected;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--expect" && i + 1 < argc) {
+      expected.insert(argv[++i]);
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  std::ifstream is(argv[1], std::ios::binary);
+  if (!is.good()) {
+    std::cerr << "wasp_trace_check: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+
+  JValue root;
+  try {
+    root = JsonParser(text).parse();
+  } catch (const std::exception& e) {
+    std::cerr << "wasp_trace_check: JSON parse error: " << e.what() << "\n";
+    return 1;
+  }
+  if (root.type != JValue::Type::kObject) {
+    std::cerr << "wasp_trace_check: root is not an object\n";
+    return 1;
+  }
+  const JValue* events = root.get("traceEvents");
+  if (events == nullptr || events->type != JValue::Type::kArray) {
+    std::cerr << "wasp_trace_check: missing traceEvents array\n";
+    return 1;
+  }
+
+  std::map<std::pair<long long, long long>, Track> tracks;
+  std::set<std::string> completed;
+  std::size_t spans = 0;
+  for (std::size_t i = 0; i < events->arr.size(); ++i) {
+    const JValue& e = events->arr[i];
+    if (e.type != JValue::Type::kObject) {
+      return fail_event(i, "not an object");
+    }
+    const JValue* name = e.get("name");
+    const JValue* ph = e.get("ph");
+    const JValue* pid = e.get("pid");
+    const JValue* tid = e.get("tid");
+    if (name == nullptr || name->type != JValue::Type::kString) {
+      return fail_event(i, "missing string \"name\"");
+    }
+    if (ph == nullptr || ph->type != JValue::Type::kString ||
+        (ph->str != "B" && ph->str != "E" && ph->str != "M")) {
+      return fail_event(i, "\"ph\" must be \"B\", \"E\", or \"M\"");
+    }
+    if (pid == nullptr || pid->type != JValue::Type::kNumber ||
+        tid == nullptr || tid->type != JValue::Type::kNumber) {
+      return fail_event(i, "missing numeric \"pid\"/\"tid\"");
+    }
+    if (ph->str == "M") continue;  // metadata carries no timestamp
+
+    const JValue* ts = e.get("ts");
+    if (ts == nullptr || ts->type != JValue::Type::kNumber) {
+      return fail_event(i, "missing numeric \"ts\"");
+    }
+    Track& track = tracks[{static_cast<long long>(pid->number),
+                           static_cast<long long>(tid->number)}];
+    if (track.has_ts && ts->number < track.last_ts) {
+      return fail_event(i, "timestamp decreases on its track (" +
+                               std::to_string(ts->number) + " after " +
+                               std::to_string(track.last_ts) + ")");
+    }
+    track.last_ts = ts->number;
+    track.has_ts = true;
+
+    if (ph->str == "B") {
+      track.open.push_back(name->str);
+    } else {
+      if (track.open.empty()) {
+        return fail_event(i, "\"E\" with no open span on its track");
+      }
+      if (track.open.back() != name->str) {
+        return fail_event(i, "\"E\" name \"" + name->str +
+                                 "\" does not match open span \"" +
+                                 track.open.back() + "\"");
+      }
+      track.open.pop_back();
+      completed.insert(name->str);
+      ++spans;
+    }
+  }
+  for (const auto& [key, track] : tracks) {
+    if (!track.open.empty()) {
+      std::cerr << "wasp_trace_check: track pid=" << key.first
+                << " tid=" << key.second << " ends with unclosed span \""
+                << track.open.back() << "\"\n";
+      return 1;
+    }
+  }
+  for (const std::string& want : expected) {
+    if (completed.find(want) == completed.end()) {
+      std::cerr << "wasp_trace_check: expected span \"" << want
+                << "\" never completed\n";
+      return 1;
+    }
+  }
+
+  std::cout << "ok: " << spans << " spans on " << tracks.size()
+            << " tracks, " << completed.size() << " distinct names\n";
+  return 0;
+}
