@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <queue>
 #include <set>
 #include <unordered_map>
 
+#include "analysis/dense.hpp"
+#include "analysis/scan_kernel.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -52,200 +55,6 @@ const AnalyzerMetrics& analyzer_metrics() {
   return m;
 }
 
-/// Analysis-scope file identity: node-local files with the same inode id on
-/// different nodes are distinct.
-struct ScopedFile {
-  std::int16_t fs;
-  int node_scope;  // -1 for shared filesystems
-  fs::FileId file;
-  bool operator<(const ScopedFile& o) const noexcept {
-    return std::tie(fs, node_scope, file) <
-           std::tie(o.fs, o.node_scope, o.file);
-  }
-};
-
-void add_op(OpsBreakdown& b, Cursor& cs, std::size_t i) {
-  const trace::Op op = cs.op(i);
-  const auto n = static_cast<std::uint64_t>(cs.count(i));
-  if (op == trace::Op::kRead) {
-    b.read_ops += n;
-    b.read_bytes += cs.total_bytes(i);
-    b.data_sec += cs.duration_sec(i);
-  } else if (op == trace::Op::kWrite) {
-    b.write_ops += n;
-    b.write_bytes += cs.total_bytes(i);
-    b.data_sec += cs.duration_sec(i);
-  } else if (trace::is_meta(op)) {
-    b.meta_ops += n;
-    b.meta_sec += cs.duration_sec(i);
-  }
-}
-
-using Interval = std::pair<sim::Time, sim::Time>;
-
-/// Per-(scoped file, rank) access-stream summary for the sequentiality
-/// reduction. Whether a chunk's *first* op on a stream continues the
-/// previous chunk's stream is only decidable at merge time, so the chunk
-/// records the stream's entry offset and defers that single op's verdict.
-struct StreamState {
-  fs::Bytes first_offset = 0;
-  fs::Bytes last_end = 0;
-};
-
-/// Everything one row chunk contributes; merged in chunk-index order.
-struct ChunkState {
-  sim::Time job_t0 = 0;
-  sim::Time job_t1 = 0;
-  OpsBreakdown totals;
-  std::map<std::uint16_t, AppStats> apps;
-  std::map<ScopedFile, FileStats> files;
-  std::map<ScopedFile, std::size_t> file_first_row;
-  std::map<std::uint64_t, double> rank_io_sec;  // (app<<32|rank)
-  std::set<std::pair<std::uint16_t, std::int32_t>> procs;
-  std::set<std::int32_t> nodes;
-  std::map<ScopedFile, std::set<std::int32_t>> file_readers;
-  std::map<ScopedFile, std::set<std::int32_t>> file_writers;
-  std::map<std::pair<std::uint16_t, trace::Iface>, std::uint64_t> iface_ops;
-  std::map<std::pair<ScopedFile, std::int32_t>, StreamState> streams;
-  std::vector<std::pair<ScopedFile, std::int32_t>> stream_order;
-  std::uint64_t seq_ops = 0;  ///< excludes each stream's deferred first op
-  std::uint64_t pattern_ops = 0;
-  std::map<fs::Bytes, std::uint64_t> size_counts;
-  std::vector<Interval> io_intervals;
-  util::SizeHistogram read_hist = util::SizeHistogram::paper_buckets();
-  util::SizeHistogram write_hist = util::SizeHistogram::paper_buckets();
-  std::vector<std::vector<Interval>> read_iv;
-  std::vector<std::vector<Interval>> write_iv;
-  std::map<std::uint16_t, std::vector<std::size_t>> io_by_app;
-};
-
-/// The map step: one chunk's pass over its row range. Reads only the
-/// immutable TraceStore (through its own cursor) plus value-copied lookup
-/// tables — no callbacks into lazily-built filesystem state (paths/sizes
-/// resolve post-merge).
-ChunkState scan_chunk(const TraceStore& store, const util::ChunkRange& range,
-                      const std::vector<std::string>& app_names,
-                      const std::vector<char>& fs_is_shared) {
-  Cursor cs(store);
-  ChunkState st;
-  st.read_iv.resize(st.read_hist.num_buckets());
-  st.write_iv.resize(st.write_hist.num_buckets());
-  st.job_t0 = cs.tstart(range.begin);
-  st.job_t1 = cs.tend(range.begin);
-
-  auto scoped = [&](std::size_t i) -> ScopedFile {
-    const trace::FileKey key = cs.file(i);
-    int scope = -1;
-    if (key.valid() && !fs_is_shared[static_cast<std::size_t>(key.fs)]) {
-      scope = cs.node(i);
-    }
-    return ScopedFile{key.fs, scope, key.file};
-  };
-
-  for (std::size_t i = range.begin; i < range.end; ++i) {
-    const trace::Op op = cs.op(i);
-    st.job_t0 = std::min(st.job_t0, cs.tstart(i));
-    st.job_t1 = std::max(st.job_t1, cs.tend(i));
-
-    // App bookkeeping (all records).
-    auto [ait, fresh] = st.apps.try_emplace(cs.app(i));
-    AppStats& app = ait->second;
-    if (fresh) {
-      app.app = cs.app(i);
-      app.name = cs.app(i) < app_names.size() ? app_names[cs.app(i)]
-                                              : std::to_string(cs.app(i));
-      app.first_event = cs.tstart(i);
-      app.last_event = cs.tend(i);
-    } else {
-      app.first_event = std::min(app.first_event, cs.tstart(i));
-      app.last_event = std::max(app.last_event, cs.tend(i));
-    }
-    st.procs.insert({cs.app(i), cs.rank(i)});
-    st.nodes.insert(cs.node(i));
-    if (trace::is_io(op)) st.io_by_app[cs.app(i)].push_back(i);
-
-    if (cs.iface(i) == trace::Iface::kCpu) {
-      app.cpu_sec += cs.duration_sec(i);
-      continue;
-    }
-    if (cs.iface(i) == trace::Iface::kGpu) {
-      app.gpu_sec += cs.duration_sec(i);
-      continue;
-    }
-    if (!trace::is_io(op)) continue;
-
-    add_op(app.ops, cs, i);
-    add_op(st.totals, cs, i);
-    const std::uint64_t proc_key =
-        (static_cast<std::uint64_t>(cs.app(i)) << 32) |
-        static_cast<std::uint32_t>(cs.rank(i));
-    st.rank_io_sec[proc_key] += cs.duration_sec(i);
-    st.io_intervals.emplace_back(cs.tstart(i), cs.tend(i));
-    if (trace::is_data(op)) {
-      st.iface_ops[{cs.app(i), cs.iface(i)}] += cs.count(i);
-    }
-
-    // Histograms + interval collections (data ops only).
-    if (op == trace::Op::kRead) {
-      st.read_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
-      st.read_iv[st.read_hist.bucket_index(cs.size_col(i))].push_back(
-          {cs.tstart(i), cs.tend(i)});
-    } else if (op == trace::Op::kWrite) {
-      st.write_hist.add(cs.size_col(i), cs.count(i), cs.total_bytes(i), 0.0);
-      st.write_iv[st.write_hist.bucket_index(cs.size_col(i))].push_back(
-          {cs.tstart(i), cs.tend(i)});
-    }
-
-    // File bookkeeping.
-    const trace::FileKey key = cs.file(i);
-    if (!key.valid()) continue;
-    const ScopedFile sf = scoped(i);
-
-    if (trace::is_data(op)) {
-      st.size_counts[cs.size_col(i)] += cs.count(i);
-      // A coalesced record is internally sequential; only its first op can
-      // break the stream relative to the rank's previous access.
-      auto [sit, first_touch] = st.streams.try_emplace(
-          {sf, cs.rank(i)}, StreamState{cs.offset(i), cs.offset(i)});
-      st.pattern_ops += cs.count(i);
-      st.seq_ops += cs.count(i) - 1;
-      if (first_touch) {
-        st.stream_order.push_back({sf, cs.rank(i)});
-      } else if (sit->second.last_end == cs.offset(i)) {
-        ++st.seq_ops;
-      }
-      sit->second.last_end = cs.offset(i) + cs.total_bytes(i);
-    }
-    auto [fit, fnew] = st.files.try_emplace(sf);
-    FileStats& fstat = fit->second;
-    if (fnew) {
-      fstat.key = key;
-      fstat.node_scope = sf.node_scope;
-      fstat.first_access = cs.tstart(i);
-      fstat.last_access = cs.tend(i);
-      st.file_first_row.emplace(sf, i);
-    } else {
-      fstat.first_access = std::min(fstat.first_access, cs.tstart(i));
-      fstat.last_access = std::max(fstat.last_access, cs.tend(i));
-    }
-    add_op(fstat.ops, cs, i);
-    if (op == trace::Op::kRead) {
-      st.file_readers[sf].insert(cs.rank(i));
-      if (std::find(fstat.consumer_apps.begin(), fstat.consumer_apps.end(),
-                    cs.app(i)) == fstat.consumer_apps.end()) {
-        fstat.consumer_apps.push_back(cs.app(i));
-      }
-    } else if (op == trace::Op::kWrite) {
-      st.file_writers[sf].insert(cs.rank(i));
-      if (std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
-                    cs.app(i)) == fstat.producer_apps.end()) {
-        fstat.producer_apps.push_back(cs.app(i));
-      }
-    }
-  }
-  return st;
-}
-
 /// Append ids from `from` that `into` lacks, preserving first-seen order.
 void merge_app_ids(std::vector<std::uint16_t>& into,
                    const std::vector<std::uint16_t>& from) {
@@ -254,6 +63,175 @@ void merge_app_ids(std::vector<std::uint16_t>& into,
       into.push_back(id);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-vector reduction. ChunkState carries its large keyed state as
+// key-sorted vectors, so the reduce folds each chunk into the global state
+// with linear two-pointer merges — no per-key tree walks, no node
+// allocations. The fold still runs left-to-right in chunk-index order, so
+// every colliding key combines its per-chunk values in exactly the order
+// the map-based reduce used; floating-point sums keep their association
+// order and the profile stays bit-identical.
+
+/// Fold a chunk's sorted (key, value) vector into the global one; `combine`
+/// resolves key collisions (global value first, chunk value second).
+template <typename K, typename V, typename Combine>
+void merge_sorted(std::vector<std::pair<K, V>>& global,
+                  std::vector<std::pair<K, V>>&& chunk, Combine combine) {
+  if (chunk.empty()) return;
+  if (global.empty()) {
+    global = std::move(chunk);
+    return;
+  }
+  std::vector<std::pair<K, V>> out;
+  out.reserve(global.size() + chunk.size());
+  auto g = global.begin();
+  auto c = chunk.begin();
+  while (g != global.end() && c != chunk.end()) {
+    if (g->first < c->first) {
+      out.push_back(std::move(*g++));
+    } else if (c->first < g->first) {
+      out.push_back(std::move(*c++));
+    } else {
+      combine(g->second, c->second);
+      out.push_back(std::move(*g++));
+      ++c;
+    }
+  }
+  out.insert(out.end(), std::make_move_iterator(g),
+             std::make_move_iterator(global.end()));
+  out.insert(out.end(), std::make_move_iterator(c),
+             std::make_move_iterator(chunk.end()));
+  global = std::move(out);
+}
+
+/// Set-union of ascending id vectors, in place on `into`.
+void union_ids(std::vector<std::int32_t>& into,
+               const std::vector<std::int32_t>& from) {
+  if (from.empty()) return;
+  if (into.empty()) {
+    into = from;
+    return;
+  }
+  std::vector<std::int32_t> out;
+  out.reserve(into.size() + from.size());
+  std::set_union(into.begin(), into.end(), from.begin(), from.end(),
+                 std::back_inserter(out));
+  into = std::move(out);
+}
+
+/// Size of the union of two ascending id vectors, without materializing it.
+std::size_t union_size(const std::vector<std::int32_t>& a,
+                       const std::vector<std::int32_t>& b) {
+  std::size_t n = 0;
+  auto i = a.begin();
+  auto j = b.begin();
+  while (i != a.end() && j != b.end()) {
+    if (*i < *j) {
+      ++i;
+    } else if (*j < *i) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+    ++n;
+  }
+  return n + static_cast<std::size_t>(a.end() - i) +
+         static_cast<std::size_t>(b.end() - j);
+}
+
+/// K-way heap merge over each chunk's sorted `field` vector. `key(entry)`
+/// orders entries; ties pop in chunk-index order, so `consume(entry)` sees
+/// every key's entries left-to-right across chunks — exactly the order a
+/// chunk-by-chunk fold would feed them in, but each global entry is built
+/// once instead of being re-moved on every fold step.
+template <typename Field, typename KeyFn, typename Consume>
+void kway_merge(std::vector<ChunkState>& parts, Field field, KeyFn key,
+                Consume consume) {
+  struct Head {
+    std::size_t chunk;
+    std::size_t pos;
+  };
+  auto vec = [&](std::size_t chunk) -> auto& { return parts[chunk].*field; };
+  auto cmp = [&](const Head& a, const Head& b) {
+    // priority_queue pops the *greatest*, so invert: smallest key first,
+    // then smallest chunk index.
+    const auto& ka = key(vec(a.chunk)[a.pos]);
+    const auto& kb = key(vec(b.chunk)[b.pos]);
+    if (kb < ka) return true;
+    if (ka < kb) return false;
+    return a.chunk > b.chunk;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap(cmp);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (!vec(i).empty()) heap.push({i, 0});
+  }
+  while (!heap.empty()) {
+    Head h = heap.top();
+    heap.pop();
+    consume(vec(h.chunk)[h.pos]);
+    if (++h.pos < vec(h.chunk).size()) heap.push(h);
+  }
+}
+
+/// Merge every chunk's FileAgg vector into one global sorted vector.
+std::vector<FileAgg> merge_files(std::vector<ChunkState>& parts) {
+  std::vector<FileAgg> out;
+  std::size_t widest = 0;
+  for (const ChunkState& c : parts) widest = std::max(widest, c.files.size());
+  out.reserve(widest);
+  kway_merge(
+      parts, &ChunkState::files,
+      [](const FileAgg& fa) -> const ScopedFile& { return fa.sf; },
+      [&out](FileAgg& fa) {
+        if (out.empty() || out.back().sf < fa.sf) {
+          out.push_back(std::move(fa));
+          return;
+        }
+        FileAgg& g = out.back();
+        FileStats& gs = g.stats;
+        const FileStats& cs = fa.stats;
+        gs.first_access = std::min(gs.first_access, cs.first_access);
+        gs.last_access = std::max(gs.last_access, cs.last_access);
+        gs.ops.merge(cs.ops);
+        merge_app_ids(gs.producer_apps, cs.producer_apps);
+        merge_app_ids(gs.consumer_apps, cs.consumer_apps);
+        // first_row: the first chunk touching the file wins — keep global's.
+        union_ids(g.readers, fa.readers);
+        union_ids(g.writers, fa.writers);
+      });
+  return out;
+}
+
+using StreamKey = std::pair<ScopedFile, std::int32_t>;
+
+/// Settle every stream's deferred head ops across chunks: the first chunk
+/// to touch a stream counts its head op as sequential, each later chunk
+/// counts its head if it continues where the previous chunk's tail left
+/// off. Consumes each stream's chunk entries in chunk order; nothing else
+/// reads the stream state, so no global table is kept.
+std::uint64_t settle_streams(std::vector<ChunkState>& parts) {
+  std::uint64_t seq_ops = 0;
+  bool have_prev = false;
+  StreamKey prev_key{};
+  fs::Bytes prev_end = 0;
+  kway_merge(
+      parts, &ChunkState::streams,
+      [](const StreamEntry& e) { return StreamKey{e.sf, e.rank}; },
+      [&](const StreamEntry& e) {
+        const StreamKey k{e.sf, e.rank};
+        if (!have_prev || prev_key < k) {
+          ++seq_ops;  // stream's first touch across all chunks
+        } else if (prev_end == e.state.first_offset) {
+          ++seq_ops;
+        }
+        have_prev = true;
+        prev_key = k;
+        prev_end = e.state.last_end;
+      });
+  return seq_ops;
 }
 
 }  // namespace
@@ -311,7 +289,9 @@ const Phase* WorkloadProfile::first_phase(std::uint16_t app) const {
 double Analyzer::union_seconds(
     std::vector<std::pair<sim::Time, sim::Time>> iv) {
   if (iv.empty()) return 0.0;
-  std::sort(iv.begin(), iv.end());
+  // Traces append in retire order, so interval lists are often already
+  // start-ordered; the linear check dodges the n-log-n sort when so.
+  if (!std::is_sorted(iv.begin(), iv.end())) std::sort(iv.begin(), iv.end());
   sim::Time covered = 0;
   sim::Time cur_lo = iv[0].first;
   sim::Time cur_hi = iv[0].second;
@@ -415,32 +395,37 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   }
 
   // --- Map: scan chunks in parallel -------------------------------------
+  // The batched columnar kernels (scan_chunk) are the default; the scalar
+  // row loop (scan_chunk_reference) is the equivalence oracle tests pit
+  // against them — both produce byte-identical ChunkStates.
   std::vector<ChunkState> parts;
   {
     WASP_OBS_SPAN("analyze.scan");
     obs::TimerGuard t(om.scan_ns);
+    const bool ref = opts_.reference_scan;
     parts = pool.map_chunks(
         store.size(), grain, [&](const util::ChunkRange& range) {
-          return scan_chunk(store, range, input.app_names, fs_is_shared);
+          return ref ? scan_chunk_reference(store, range, input.app_names,
+                                            fs_is_shared)
+                     : scan_chunk(store, range, input.app_names, fs_is_shared);
         });
   }
 
   // --- Reduce: merge partials in chunk-index order ----------------------
+  // Large keyed state folds with linear two-pointer merges over the
+  // chunks' key-sorted vectors (see the helpers above); small keyed state
+  // merges into ordered containers the classic way.
   sim::Time job_t0 = parts.front().job_t0;
   sim::Time job_t1 = parts.front().job_t1;
   std::map<std::uint16_t, AppStats> apps;
-  std::map<ScopedFile, FileStats> files;
-  std::map<ScopedFile, std::size_t> file_first_row;
-  std::map<std::uint64_t, double> rank_io_sec;
+  std::vector<FileAgg> files;  // sorted by ScopedFile
+  std::vector<std::pair<std::uint64_t, double>> rank_io_sec;  // sorted
   std::set<std::pair<std::uint16_t, std::int32_t>> procs;
   std::set<std::int32_t> nodes;
-  std::map<ScopedFile, std::set<std::int32_t>> file_readers;
-  std::map<ScopedFile, std::set<std::int32_t>> file_writers;
   std::map<std::pair<std::uint16_t, trace::Iface>, std::uint64_t> iface_ops;
-  std::map<std::pair<ScopedFile, std::int32_t>, fs::Bytes> last_end;
   std::uint64_t seq_ops = 0;
   std::uint64_t pattern_ops = 0;
-  std::map<fs::Bytes, std::uint64_t> size_counts_global;
+  std::vector<std::pair<fs::Bytes, std::uint64_t>> size_counts_global;
   std::vector<Interval> io_intervals;
   std::vector<std::vector<Interval>> read_iv(p.read_hist.num_buckets());
   std::vector<std::vector<Interval>> write_iv(p.write_hist.num_buckets());
@@ -449,6 +434,28 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   {
   WASP_OBS_SPAN("analyze.merge");
   obs::TimerGuard t(om.merge_ns);
+  // Size the interval/row-list concatenations exactly, so the appends below
+  // never reallocate mid-merge.
+  {
+    std::size_t n_io = 0;
+    std::vector<std::size_t> n_read(read_iv.size(), 0);
+    std::vector<std::size_t> n_write(write_iv.size(), 0);
+    std::map<std::uint16_t, std::size_t> n_by_app;
+    for (const ChunkState& c : parts) {
+      n_io += c.io_intervals.size();
+      for (std::size_t b = 0; b < read_iv.size(); ++b) {
+        n_read[b] += c.read_iv[b].size();
+        n_write[b] += c.write_iv[b].size();
+      }
+      for (const auto& [aid, idx] : c.io_by_app) n_by_app[aid] += idx.size();
+    }
+    io_intervals.reserve(n_io);
+    for (std::size_t b = 0; b < read_iv.size(); ++b) {
+      read_iv[b].reserve(n_read[b]);
+      write_iv[b].reserve(n_write[b]);
+    }
+    for (const auto& [aid, n] : n_by_app) io_by_app[aid].reserve(n);
+  }
   for (ChunkState& c : parts) {
     job_t0 = std::min(job_t0, c.job_t0);
     job_t1 = std::max(job_t1, c.job_t1);
@@ -466,43 +473,15 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
         g.ops.merge(capp.ops);
       }
     }
-    for (auto& [sf, cfile] : c.files) {
-      auto [it, fresh] = files.try_emplace(sf);
-      if (fresh) {
-        it->second = std::move(cfile);
-      } else {
-        FileStats& g = it->second;
-        g.first_access = std::min(g.first_access, cfile.first_access);
-        g.last_access = std::max(g.last_access, cfile.last_access);
-        g.ops.merge(cfile.ops);
-        merge_app_ids(g.producer_apps, cfile.producer_apps);
-        merge_app_ids(g.consumer_apps, cfile.consumer_apps);
-      }
-    }
-    for (const auto& [sf, row] : c.file_first_row) {
-      file_first_row.try_emplace(sf, row);  // first chunk touching it wins
-    }
-    for (const auto& [k, v] : c.rank_io_sec) rank_io_sec[k] += v;
+    merge_sorted(rank_io_sec, std::move(c.rank_io_sec),
+                 [](double& g, double v) { g += v; });
     procs.insert(c.procs.begin(), c.procs.end());
     nodes.insert(c.nodes.begin(), c.nodes.end());
-    for (auto& [sf, ranks] : c.file_readers) {
-      file_readers[sf].insert(ranks.begin(), ranks.end());
-    }
-    for (auto& [sf, ranks] : c.file_writers) {
-      file_writers[sf].insert(ranks.begin(), ranks.end());
-    }
     for (const auto& [k, n] : c.iface_ops) iface_ops[k] += n;
-    // Sequentiality: settle each stream's deferred first op against the
-    // previous chunks' stream tail, then adopt this chunk's tail.
     seq_ops += c.seq_ops;
     pattern_ops += c.pattern_ops;
-    for (const auto& key : c.stream_order) {
-      const StreamState& s = c.streams.at(key);
-      auto [it, first_touch] = last_end.try_emplace(key, 0);
-      if (first_touch || it->second == s.first_offset) ++seq_ops;
-      it->second = s.last_end;
-    }
-    for (const auto& [sz, n] : c.size_counts) size_counts_global[sz] += n;
+    merge_sorted(size_counts_global, std::move(c.size_counts),
+                 [](std::uint64_t& g, std::uint64_t n) { g += n; });
     io_intervals.insert(io_intervals.end(), c.io_intervals.begin(),
                         c.io_intervals.end());
     p.read_hist.merge(c.read_hist);
@@ -518,6 +497,11 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
       dst.insert(dst.end(), idx.begin(), idx.end());
     }
   }
+  // The two ScopedFile-keyed reductions go through k-way heap merges over
+  // the chunks' sorted vectors (entries per key still combine in
+  // chunk-index order — see kway_merge).
+  files = merge_files(parts);
+  seq_ops += settle_streams(parts);
   parts.clear();
   }
   p.job_runtime_sec = sim::to_seconds(job_t1 - job_t0);
@@ -528,21 +512,19 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   // Resolve per-file paths and sizes from each file's first record — these
   // callbacks may touch lazily-built filesystem state, so they run here,
   // serially, not in the chunk workers.
-  for (auto& [sf, fstat] : files) {
-    const std::size_t i = file_first_row.at(sf);
-    fstat.path = input.path_at(i);
-    fstat.size = std::max(fstat.size, input.size_at(i));
+  for (FileAgg& fa : files) {
+    fa.stats.path = input.path_at(fa.first_row);
+    fa.stats.size = std::max(fa.stats.size, input.size_at(fa.first_row));
   }
 
-  // Resolve per-file sharing.
-  for (auto& [sf, fstat] : files) {
-    const auto& readers = file_readers[sf];
-    const auto& writers = file_writers[sf];
-    std::set<std::int32_t> all(readers);
-    all.insert(writers.begin(), writers.end());
-    fstat.reader_ranks = static_cast<std::uint32_t>(readers.size());
-    fstat.writer_ranks = static_cast<std::uint32_t>(writers.size());
-    fstat.accessor_ranks = static_cast<std::uint32_t>(all.size());
+  // Resolve per-file sharing. The rank vectors are ascending, so the
+  // accessor count is a two-pointer union size — no set materialization.
+  for (FileAgg& fa : files) {
+    FileStats& fstat = fa.stats;
+    fstat.reader_ranks = static_cast<std::uint32_t>(fa.readers.size());
+    fstat.writer_ranks = static_cast<std::uint32_t>(fa.writers.size());
+    fstat.accessor_ranks =
+        static_cast<std::uint32_t>(union_size(fa.readers, fa.writers));
     if (fstat.shared()) {
       ++p.shared_files;
     } else {
@@ -562,8 +544,8 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
     pool.run(app_ptrs.size(), [&](std::size_t a) {
       AppStats& app = *app_ptrs[a];
       const std::uint16_t id = app.app;
-      for (const auto& [sf, fstat] : files) {
-        (void)sf;
+      for (const FileAgg& fa : files) {
+        const FileStats& fstat = fa.stats;
         const bool touches =
             std::find(fstat.producer_apps.begin(), fstat.producer_apps.end(),
                       id) != fstat.producer_apps.end() ||
@@ -653,17 +635,29 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
       std::vector<std::pair<sim::Time, std::size_t>> order;
       order.reserve(idx.size());
       for (const std::size_t i : idx) order.emplace_back(cs.tstart(i), i);
-      std::sort(order.begin(), order.end());
+      // Traces are usually already time-ordered (the tracer appends events
+      // as the sim retires them); the linear check dodges the n-log-n sort
+      // in that common case and sorting is a no-op permutation otherwise.
+      if (!std::is_sorted(order.begin(), order.end())) {
+        std::sort(order.begin(), order.end());
+      }
       std::vector<Phase>& out = app_phases[a];
       Phase cur;
-      std::map<fs::Bytes, std::uint64_t> size_counts;
-      std::set<std::int32_t> ranks;
+      // Dense per-phase state, cleared (capacity kept) at each flush. The
+      // size-count map only feeds the dominant-size pick, which scans sizes
+      // ascending — sorting the surviving keys at flush reproduces the
+      // ordered map's iteration exactly, without its per-row tree walks.
+      dense::FlatMap64<std::uint64_t> size_counts;
+      dense::IdSet ranks;
       bool open = false;
       auto flush = [&]() {
         if (!open) return;
         fs::Bytes dom = 0;
         std::uint64_t dom_n = 0;
-        for (const auto& [sz, n] : size_counts) {
+        auto sizes = size_counts.items();
+        std::sort(sizes.begin(), sizes.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        for (const auto& [sz, n] : sizes) {
           if (n > dom_n && sz > 0) {
             dom_n = n;
             dom = sz;
@@ -681,21 +675,29 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
       };
       sim::Time phase_end = 0;
       for (const auto& [t_i, i] : order) {
-        (void)t_i;
-        if (!open || cs.tstart(i) > phase_end + opts_.phase_gap) {
+        // Decode the row once; the phase sweep revisits rows in time order,
+        // so each access is a random store lookup — don't multiply them.
+        // tstart rides along in the sort key, saving one lookup.
+        const sim::Time t0 = t_i;
+        const sim::Time t1 = cs.tend(i);
+        const trace::Op op = cs.op(i);
+        const std::uint32_t cnt = cs.count(i);
+        const fs::Bytes sz = cs.size_col(i);
+        if (!open || t0 > phase_end + opts_.phase_gap) {
           flush();
           cur = Phase{};
           cur.app = aid;
-          cur.t0 = cs.tstart(i);
-          cur.t1 = cs.tend(i);
+          cur.t0 = t0;
+          cur.t1 = t1;
           open = true;
-          phase_end = cs.tend(i);
+          phase_end = t1;
         }
-        cur.t1 = std::max(cur.t1, cs.tend(i));
-        phase_end = std::max(phase_end, cs.tend(i));
-        add_op(cur.ops, cs, i);
-        if (trace::is_data(cs.op(i))) {
-          size_counts[cs.size_col(i)] += cs.count(i);
+        cur.t1 = std::max(cur.t1, t1);
+        phase_end = std::max(phase_end, t1);
+        add_op(cur.ops, op, cnt, sz * static_cast<fs::Bytes>(cnt),
+               sim::to_seconds(t1 - t0));
+        if (trace::is_data(op)) {
+          size_counts[sz] += cnt;
         }
         ranks.insert(cs.rank(i));
       }
@@ -711,8 +713,8 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
   // --- App dependency edges ---------------------------------------------
   {
     std::map<std::pair<std::uint16_t, std::uint16_t>, AppEdge> edges;
-    for (const auto& [sf, fstat] : files) {
-      (void)sf;
+    for (const FileAgg& fa : files) {
+      const FileStats& fstat = fa.stats;
       for (auto prod : fstat.producer_apps) {
         for (auto cons : fstat.consumer_apps) {
           if (prod == cons) continue;
@@ -751,20 +753,29 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
           Cursor cs(store);
           Bins local{std::vector<double>(nbins, 0.0),
                      std::vector<double>(nbins, 0.0)};
-          for (std::size_t i = range.begin; i < range.end; ++i) {
-            if (!trace::is_data(cs.op(i))) continue;
-            const double bytes = static_cast<double>(cs.total_bytes(i));
-            if (bytes <= 0) continue;
-            const sim::Time t0 = cs.tstart(i) - job_t0;
-            const sim::Time t1 = std::max(cs.tend(i) - job_t0, t0 + 1);
-            const auto b0 = static_cast<std::size_t>(t0 / bin);
-            const auto b1 =
-                std::min(static_cast<std::size_t>((t1 - 1) / bin), nbins - 1);
-            const double per_bin =
-                bytes / static_cast<double>(b1 - b0 + 1);
-            auto& series = cs.op(i) == trace::Op::kRead ? local.first
-                                                        : local.second;
-            for (std::size_t b = b0; b <= b1; ++b) series[b] += per_bin;
+          // Span walk: one residency resolution per storage chunk, raw
+          // column reads per row. Same arithmetic as the row-at-a-time
+          // loop, so the bins stay byte-identical.
+          for (std::size_t pos = range.begin; pos < range.end;) {
+            const ChunkSpan s = cs.span(pos, range.end);
+            for (std::size_t k = 0; k < s.rows; ++k) {
+              const trace::Op op = s.op[k];
+              if (!trace::is_data(op)) continue;
+              const double bytes = static_cast<double>(
+                  s.size[k] * static_cast<fs::Bytes>(s.count[k]));
+              if (bytes <= 0) continue;
+              const sim::Time t0 = s.tstart[k] - job_t0;
+              const sim::Time t1 = std::max(s.tend[k] - job_t0, t0 + 1);
+              const auto b0 = static_cast<std::size_t>(t0 / bin);
+              const auto b1 = std::min(
+                  static_cast<std::size_t>((t1 - 1) / bin), nbins - 1);
+              const double per_bin =
+                  bytes / static_cast<double>(b1 - b0 + 1);
+              auto& series = op == trace::Op::kRead ? local.first
+                                                    : local.second;
+              for (std::size_t b = b0; b <= b1; ++b) series[b] += per_bin;
+            }
+            pos += s.rows;
           }
           return local;
         });
@@ -784,8 +795,7 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
       pattern_ops > 0
           ? static_cast<double>(seq_ops) / static_cast<double>(pattern_ops)
           : 1.0;
-  p.size_frequencies.assign(size_counts_global.begin(),
-                            size_counts_global.end());
+  p.size_frequencies = std::move(size_counts_global);
   std::sort(p.size_frequencies.begin(), p.size_frequencies.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
 
@@ -796,9 +806,8 @@ WorkloadProfile Analyzer::analyze_store(const TraceStore& store,
     p.apps.push_back(std::move(app));
   }
   p.files.reserve(files.size());
-  for (auto& [sf, f] : files) {
-    (void)sf;
-    p.files.push_back(std::move(f));
+  for (FileAgg& fa : files) {
+    p.files.push_back(std::move(fa.stats));
   }
   return p;
 }

@@ -54,6 +54,10 @@ class Analyzer {
     /// definition: changing it may change the merge order of floating-point
     /// partial sums (never the semantics).
     std::size_t chunk_rows = 65536;
+    /// Use the scalar row-at-a-time map step instead of the batched
+    /// columnar kernels. The two are byte-identical by construction; this
+    /// exists so tests (and benchmarks) can pit them against each other.
+    bool reference_scan = false;
   };
 
   Analyzer() : opts_() {}

@@ -64,6 +64,26 @@ ChunkHandle ColumnStore::chunk(std::size_t chunk_index) const {
   return h;
 }
 
+ChunkHandle ColumnStore::span_at(std::size_t row) const {
+  WASP_CHECK_MSG(row < size(), "span row out of range");
+  ChunkHandle h;  // pin stays null: the view borrows the store's columns
+  h.cols.base = 0;
+  h.cols.rows = size();
+  h.cols.app = app_.data();
+  h.cols.rank = rank_.data();
+  h.cols.node = node_.data();
+  h.cols.iface = iface_.data();
+  h.cols.op = op_.data();
+  h.cols.fs = fs_.data();
+  h.cols.file = file_.data();
+  h.cols.offset = offset_.data();
+  h.cols.size = size_.data();
+  h.cols.count = count_.data();
+  h.cols.tstart = tstart_.data();
+  h.cols.tend = tend_.data();
+  return h;
+}
+
 std::int16_t ColumnStore::max_fs() const {
   std::int16_t m = -1;
   for (const std::int16_t f : fs_) m = std::max(m, f);

@@ -35,6 +35,10 @@ class ColumnStore : public TraceStore {
     chunk_rows_ = rows > 0 ? rows : 1;
   }
   ChunkHandle chunk(std::size_t chunk_index) const override;
+  /// Every chunk view aliases the same contiguous columns, so the maximal
+  /// contiguous view is the whole store: a sequential scan (span-batched or
+  /// row-at-a-time through a Cursor) resolves residency exactly once.
+  ChunkHandle span_at(std::size_t row) const override;
 
   /// Direct scan over the contiguous fs column — no chunk handles needed.
   std::int16_t max_fs() const override;

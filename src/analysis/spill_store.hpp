@@ -93,6 +93,13 @@ class SpillColumnStore final : public TraceStore, public trace::RecordSink {
   std::size_t size() const noexcept override { return total_rows_; }
   std::size_t chunk_rows() const noexcept override { return opts_.chunk_rows; }
   ChunkHandle chunk(std::size_t chunk_index) const override;
+  /// Spans are capped at one storage chunk: chunk files decode into
+  /// separate allocations, so a chunk is the largest contiguous view this
+  /// backend can serve. Routing through chunk() keeps the LRU/pin
+  /// accounting and the sequential-scan prefetcher working unchanged.
+  ChunkHandle span_at(std::size_t row) const override {
+    return chunk(row / opts_.chunk_rows);
+  }
   std::int16_t max_fs() const override { return max_fs_; }
   IoStats io_stats() const override;
 

@@ -36,7 +36,30 @@ void Cursor::seek(std::size_t i) {
   // Drop the old pin before fetching: a bounded spill cache must never hold
   // two chunks on this cursor's account.
   handle_ = ChunkHandle{};
-  handle_ = store_->chunk(i / store_->chunk_rows());
+  handle_ = store_->span_at(i);
+}
+
+ChunkSpan Cursor::span(std::size_t i, std::size_t limit) {
+  const ChunkColumns& c = at(i);
+  const std::size_t k = i - c.base;
+  ChunkSpan s;
+  s.begin = i;
+  s.rows = std::min(c.base + c.rows, limit) - i;
+  s.app = c.app + k;
+  s.rank = c.rank + k;
+  s.node = c.node + k;
+  s.iface = c.iface + k;
+  s.op = c.op + k;
+  s.fs = c.fs + k;
+  s.file = c.file + k;
+  s.offset = c.offset + k;
+  s.size = c.size + k;
+  s.count = c.count + k;
+  s.tstart = c.tstart + k;
+  s.tend = c.tend + k;
+  if (c.path_idx != nullptr) s.path_idx = c.path_idx + k;
+  if (c.file_size != nullptr) s.file_size = c.file_size + k;
+  return s;
 }
 
 }  // namespace wasp::analysis

@@ -98,6 +98,30 @@ struct ChunkHandle {
   std::shared_ptr<const void> pin;
 };
 
+/// Zero-offset columnar window over a contiguous run of resident rows:
+/// column[k] is row `begin + k` for k in [0, rows). This is what the
+/// batched scan kernels consume — one span per storage chunk instead of a
+/// residency check per column read. The pointers borrow the cursor's
+/// current pin and stay valid until the cursor seeks past the span.
+struct ChunkSpan {
+  std::size_t begin = 0;  ///< global row index of element 0
+  std::size_t rows = 0;   ///< contiguous rows served by this span
+  const std::uint16_t* app = nullptr;
+  const std::int32_t* rank = nullptr;
+  const std::int32_t* node = nullptr;
+  const trace::Iface* iface = nullptr;
+  const trace::Op* op = nullptr;
+  const std::int16_t* fs = nullptr;
+  const fs::FileId* file = nullptr;
+  const fs::Bytes* offset = nullptr;
+  const fs::Bytes* size = nullptr;
+  const std::uint32_t* count = nullptr;
+  const sim::Time* tstart = nullptr;
+  const sim::Time* tend = nullptr;
+  const std::uint32_t* path_idx = nullptr;   // null when absent
+  const std::uint64_t* file_size = nullptr;  // null when absent
+};
+
 class TraceStore {
  public:
   virtual ~TraceStore() = default;
@@ -109,6 +133,16 @@ class TraceStore {
   /// Fetch storage chunk `chunk_index`. Thread-safe: concurrent cursors may
   /// fetch chunks from worker threads.
   virtual ChunkHandle chunk(std::size_t chunk_index) const = 0;
+  /// The maximal contiguous resident view containing `row`. The base
+  /// implementation serves the row's storage chunk; backends whose chunk
+  /// views alias one contiguous allocation (ColumnStore) override to hand
+  /// out the whole store in a single view, so a sequential scan resolves
+  /// residency exactly once. Span partitioning never changes analysis
+  /// results — kernels accumulate per-row state in row order regardless of
+  /// where span boundaries fall.
+  virtual ChunkHandle span_at(std::size_t row) const {
+    return chunk(row / chunk_rows());
+  }
 
   std::size_t num_chunks() const noexcept {
     const std::size_t n = size();
@@ -161,6 +195,14 @@ class Cursor {
     const auto& c = at(i);
     return sim::to_seconds(c.tend[i - c.base] - c.tstart[i - c.base]);
   }
+
+  /// Batched access: the contiguous resident run starting at row `i`,
+  /// clipped to `limit` (exclusive). Scan kernels walk a range as
+  ///   for (pos = begin; pos < end; pos += cursor.span(pos, end).rows)
+  /// paying one residency resolution per storage chunk instead of one check
+  /// per column read. The span borrows this cursor's pin: it is invalidated
+  /// by the next span()/accessor call that seeks to a different chunk.
+  ChunkSpan span(std::size_t i, std::size_t limit);
 
  private:
   const ChunkColumns& at(std::size_t i) {

@@ -1,0 +1,64 @@
+// Deterministic synthetic trace generator, shared by the store/analyzer
+// tests and the analyzer micro-benchmark. Big enough traces span many
+// storage chunks, and every column varies so a transposition bug can't
+// hide. Same seed + same options => the exact same records, always.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace wasp::trace {
+
+/// Value ranges for the generator. The defaults reproduce the original
+/// store-test trace byte for byte; kernel-coverage tests widen them so
+/// CPU/GPU spans, every op, and invalid file keys all appear.
+struct SyntheticOpts {
+  std::uint64_t apps = 5;
+  std::uint64_t ranks = 64;
+  std::uint64_t nodes = 8;
+  std::uint64_t ifaces = 3;  ///< 7 covers kCpu/kGpu/kMpi as well
+  std::uint64_t ops = 8;     ///< 14 covers compute + communication ops
+  std::uint64_t filesystems = 2;
+  std::uint64_t files = 97;
+  /// Every files_per_invalid-th file id becomes kInvalidFile (0 disables),
+  /// exercising the file-less row path.
+  std::uint64_t files_per_invalid = 0;
+};
+
+inline std::vector<Record> synthetic_records(std::size_t n,
+                                             const SyntheticOpts& o = {}) {
+  std::vector<Record> records(n);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::uint64_t t = 1ull << 40;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& r = records[i];
+    r.app = static_cast<std::uint16_t>(next() % o.apps);
+    r.rank = static_cast<std::int32_t>(next() % o.ranks);
+    r.node = static_cast<std::int32_t>(next() % o.nodes);
+    r.iface = static_cast<Iface>(next() % o.ifaces);
+    r.op = static_cast<Op>(next() % o.ops);
+    const auto fs_id = next() % o.filesystems;
+    const auto file_id = next() % o.files;
+    r.file = {static_cast<std::int16_t>(fs_id),
+              static_cast<fs::FileId>(file_id)};
+    if (o.files_per_invalid != 0 && file_id % o.files_per_invalid == 0) {
+      r.file = {};  // file-less row (e.g. a barrier or readdir on no fd)
+    }
+    r.offset = next() % (1ull << 40);
+    r.size = next() % (1ull << 22);
+    r.count = static_cast<std::uint32_t>(next() % 1000);
+    // Time marches forward like a real trace (monotone tstart).
+    t += next() % (1ull << 20);
+    r.tstart = t;
+    r.tend = r.tstart + next() % (1ull << 20);
+  }
+  return records;
+}
+
+}  // namespace wasp::trace

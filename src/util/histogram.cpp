@@ -36,6 +36,12 @@ void SizeHistogram::add(Bytes size, std::uint64_t count, Bytes total_bytes,
   seconds_[b] += total_seconds;
 }
 
+void SizeHistogram::add_at(std::size_t bucket, std::uint64_t count,
+                           Bytes total_bytes) {
+  counts_.at(bucket) += count;
+  bytes_.at(bucket) += total_bytes;
+}
+
 void SizeHistogram::add_seconds(std::size_t bucket, double seconds) {
   seconds_.at(bucket) += seconds;
 }

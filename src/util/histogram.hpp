@@ -27,6 +27,11 @@ class SizeHistogram {
   /// per-bucket quantities, e.g. interval unions).
   std::size_t bucket_index(Bytes size) const noexcept { return bucket_of(size); }
 
+  /// add() for callers that already resolved the bucket (the batched scan
+  /// kernels look the bucket up once per row for both the histogram and the
+  /// per-bucket interval collections).
+  void add_at(std::size_t bucket, std::uint64_t count, Bytes total_bytes);
+
   /// Add busy time to a bucket after the fact (aggregate-bandwidth wall
   /// time computed externally via interval union).
   void add_seconds(std::size_t bucket, double seconds);

@@ -20,6 +20,7 @@
 #include "analysis/spill_store.hpp"
 #include "profile_test_util.hpp"
 #include "trace/log_io.hpp"
+#include "trace/synthetic.hpp"
 #include "util/error.hpp"
 #include "workloads/registry.hpp"
 
@@ -27,6 +28,7 @@ namespace wasp {
 namespace {
 
 using testutil::expect_profiles_identical;
+using trace::synthetic_records;
 
 std::string spill_dir(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
@@ -38,36 +40,6 @@ void populate(runtime::Simulation& sim) {
   workloads::run_with(
       sim, workloads::make_montage_mpi(workloads::MontageMpiParams::test()),
       advisor::RunConfig{}, analysis::Analyzer::Options{});
-}
-
-/// Deterministic synthetic trace — big enough to span many chunks, with
-/// every column varying so a transposition bug can't hide.
-std::vector<trace::Record> synthetic_records(std::size_t n) {
-  std::vector<trace::Record> records(n);
-  std::uint64_t state = 0x9e3779b97f4a7c15ull;
-  std::uint64_t t = 1ull << 40;
-  auto next = [&state] {
-    state = state * 6364136223846793005ull + 1442695040888963407ull;
-    return state;
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    auto& r = records[i];
-    r.app = static_cast<std::uint16_t>(next() % 5);
-    r.rank = static_cast<std::int32_t>(next() % 64);
-    r.node = static_cast<std::int32_t>(next() % 8);
-    r.iface = static_cast<trace::Iface>(next() % 3);
-    r.op = static_cast<trace::Op>(next() % 8);
-    r.file = {static_cast<std::int16_t>(next() % 2),
-              static_cast<fs::FileId>(next() % 97)};
-    r.offset = next() % (1ull << 40);
-    r.size = next() % (1ull << 22);
-    r.count = static_cast<std::uint32_t>(next() % 1000);
-    // Time marches forward like a real trace (monotone tstart).
-    t += next() % (1ull << 20);
-    r.tstart = t;
-    r.tend = r.tstart + next() % (1ull << 20);
-  }
-  return records;
 }
 
 TEST(SpillStore, RoundTripsRowsThroughChunkFiles) {
