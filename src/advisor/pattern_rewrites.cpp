@@ -1,0 +1,283 @@
+#include "advisor/pattern_rewrites.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wasp::advisor {
+namespace {
+
+namespace po = pattern::ops;
+using pattern::Expr;
+using pattern::Op;
+using pattern::OpKind;
+
+/// Visit every op (depth-first) in every op vector of the pattern.
+template <typename F>
+void for_each_op(std::vector<Op>& ops, F&& f) {
+  for (Op& o : ops) {
+    f(o);
+    if (!o.body.empty()) for_each_op(o.body, f);
+  }
+}
+
+template <typename F>
+void for_each_tree(pattern::JobPattern& pat, F&& f) {
+  for (auto& g : pat.groups) {
+    for (auto& ph : g.phases) f(ph.ops);
+  }
+  for (auto& st : pat.dag.stages) f(st.ops);
+}
+
+/// Rewrite quoted path prefixes inside an expression's text (size_of
+/// arguments) and reparse.
+Expr retarget_expr(const Expr& e, const std::string& from,
+                   const std::string& to) {
+  if (e.empty()) return e;
+  const std::string needle = "\"" + from;
+  std::string text = e.text();
+  bool changed = false;
+  for (std::size_t pos = 0; (pos = text.find(needle, pos)) !=
+                            std::string::npos;) {
+    text.replace(pos, needle.size(), "\"" + to);
+    pos += to.size() + 1;
+    changed = true;
+  }
+  return changed ? Expr(text) : e;
+}
+
+/// Evaluate an expression that should be a compile-time constant; returns
+/// false when it references lane state (env vars, size_of).
+bool const_value(const Expr& e, std::int64_t* out) {
+  if (e.empty()) return false;
+  pattern::Env env;
+  pattern::EvalContext ctx;
+  ctx.env = &env;
+  try {
+    *out = e.eval(ctx);
+    return true;
+  } catch (const util::SimError&) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string* s, std::uint64_t* out) {
+  if (s == nullptr || s->empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s->c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// Handles that must stay on their layer: ops that exist on exactly one
+/// interface pin the file handle they touch.
+void collect_pinned(const std::vector<Op>& ops,
+                    std::set<std::string>* pinned) {
+  for (const Op& o : ops) {
+    switch (o.kind) {
+      case OpKind::kPread:
+      case OpKind::kPwrite:
+      case OpKind::kPreadSync:
+      case OpKind::kPwriteSync:
+      case OpKind::kReadScattered:
+      case OpKind::kSeekIfWrap:
+      case OpKind::kPacedRead:
+        pinned->insert(o.handle);
+        break;
+      case OpKind::kOpen:
+        if (o.layer == pattern::Layer::kHdf5 ||
+            o.layer == pattern::Layer::kCompressed) {
+          pinned->insert(o.handle);
+        }
+        break;
+      case OpKind::kRead:
+      case OpKind::kWrite:
+        if (o.layer == pattern::Layer::kCompressed ||
+            o.layer == pattern::Layer::kHdf5) {
+          pinned->insert(o.handle);
+        }
+        break;
+      default:
+        break;
+    }
+    if (o.kind != OpKind::kSpawn && !o.body.empty()) {
+      collect_pinned(o.body, pinned);
+    }
+  }
+}
+
+void rewrite_layer(std::vector<Op>& ops, const std::set<std::string>& pinned,
+                   pattern::Layer layer, int* n) {
+  for (Op& o : ops) {
+    if (o.kind == OpKind::kSpawn) {
+      // A spawned body has its own handle scope.
+      std::set<std::string> inner;
+      collect_pinned(o.body, &inner);
+      rewrite_layer(o.body, inner, layer, n);
+      continue;
+    }
+    switch (o.kind) {
+      case OpKind::kOpen:
+      case OpKind::kClose:
+      case OpKind::kRead:
+      case OpKind::kWrite:
+      case OpKind::kSeek:
+      case OpKind::kSeekBatch:
+        if ((o.layer == pattern::Layer::kPosix ||
+             o.layer == pattern::Layer::kStdio) &&
+            o.layer != layer && pinned.count(o.handle) == 0) {
+          o.layer = layer;
+          ++*n;
+        }
+        break;
+      default:
+        break;
+    }
+    if (!o.body.empty()) rewrite_layer(o.body, pinned, layer, n);
+  }
+}
+
+}  // namespace
+
+bool preload_spec_from_meta(const pattern::JobPattern& pat,
+                            const std::string& tier_mount, PreloadSpec* out) {
+  const std::string* src = pat.find_meta("preload.src_dir");
+  if (src == nullptr) return false;
+  PreloadSpec spec;
+  spec.src_dir = *src;
+  if (const std::string* s = pat.find_meta("preload.suffix")) {
+    spec.suffix = *s;
+  }
+  spec.dst_dir = tier_mount + "/" + pat.name + "/";
+  std::uint64_t v = 0;
+  if (parse_u64(pat.find_meta("preload.files"), &v)) spec.files = v;
+  if (parse_u64(pat.find_meta("preload.nodes"), &v)) {
+    spec.nodes = static_cast<int>(v);
+  }
+  if (parse_u64(pat.find_meta("preload.ppn"), &v)) {
+    spec.ppn = static_cast<int>(v);
+  }
+  if (parse_u64(pat.find_meta("preload.file_size"), &v)) spec.file_size = v;
+  if (parse_u64(pat.find_meta("preload.chunk"), &v)) spec.chunk = v;
+  if (parse_u64(pat.find_meta("preload.floor_ns"), &v)) spec.floor_ns = v;
+  *out = std::move(spec);
+  return true;
+}
+
+void apply_preload(pattern::JobPattern& pat, const PreloadSpec& spec) {
+  WASP_CHECK_MSG(!pat.groups.empty() && !pat.groups.front().phases.empty(),
+                 "pattern: apply_preload needs at least one lane phase");
+  WASP_CHECK_MSG(spec.files > 0 && spec.chunk > 0,
+                 "pattern: preload spec has no files / zero chunk");
+
+  // Consumers read the node-local copies...
+  redirect_prefix(pat, spec.src_dir, spec.dst_dir);
+
+  // ...which the prepended paced copy loop creates. Every local rank
+  // stages an interleaved slice of its node's shard: file indices
+  // node + local*nodes + m*(ppn*nodes).
+  const std::string src = spec.src_dir + "{i}" + spec.suffix;
+  const std::string dst = spec.dst_dir + "{i}" + spec.suffix;
+  const auto chunks = static_cast<std::int64_t>(
+      std::max<util::Bytes>(spec.file_size / spec.chunk, 1));
+  std::vector<Op> body;
+  body.push_back(po::stat(src));
+  body.push_back(po::open(pattern::Layer::kPosix, "pre_src", src,
+                          io::OpenMode::kRead));
+  body.push_back(po::open(pattern::Layer::kPosix, "pre_dst", dst,
+                          io::OpenMode::kWrite));
+  body.push_back(po::paced_read(
+      "pre_src", Expr::lit(static_cast<std::int64_t>(spec.chunk)),
+      Expr::lit(chunks), spec.floor_ns));
+  body.push_back(po::write(pattern::Layer::kPosix, "pre_dst",
+                           Expr::lit(static_cast<std::int64_t>(spec.chunk)),
+                           Expr::lit(chunks)));
+  body.push_back(po::close(pattern::Layer::kPosix, "pre_src"));
+  body.push_back(po::close(pattern::Layer::kPosix, "pre_dst"));
+
+  std::vector<Op> pre;
+  pre.push_back(po::loop(
+      "i", Expr("node + local * " + std::to_string(spec.nodes)),
+      Expr::lit(static_cast<std::int64_t>(spec.files)), std::move(body),
+      Expr(std::to_string(spec.ppn) + " * " + std::to_string(spec.nodes))));
+  pre.push_back(po::barrier());
+
+  auto& ops = pat.groups.front().phases.front().ops;
+  ops.insert(ops.begin(), std::make_move_iterator(pre.begin()),
+             std::make_move_iterator(pre.end()));
+}
+
+void redirect_prefix(pattern::JobPattern& pat, const std::string& from,
+                     const std::string& to) {
+  if (from.empty() || from == to) return;
+  for_each_tree(pat, [&](std::vector<Op>& ops) {
+    for_each_op(ops, [&](Op& o) {
+      if (o.path.compare(0, from.size(), from) == 0) {
+        o.path = to + o.path.substr(from.size());
+      }
+      for (Expr* e : {&o.offset, &o.size, &o.count, &o.fetch_ops,
+                      &o.wrap_bytes, &o.wrap_limit, &o.begin, &o.end,
+                      &o.step, &o.when}) {
+        *e = retarget_expr(*e, from, to);
+      }
+    });
+  });
+}
+
+void set_hdf5_chunking(pattern::JobPattern& pat, util::Bytes chunk_size) {
+  for (auto& g : pat.groups) g.hdf5.chunk_size = chunk_size;
+}
+
+void set_stdio_buffer(pattern::JobPattern& pat, util::Bytes buffer) {
+  for (auto& g : pat.groups) g.stdio_buffer = buffer;
+  pat.dag.stdio_buffer = buffer;
+}
+
+int set_transfer_size(pattern::JobPattern& pat, util::Bytes transfer) {
+  WASP_CHECK_MSG(transfer > 0, "pattern: transfer size must be positive");
+  int n = 0;
+  for_each_tree(pat, [&](std::vector<Op>& ops) {
+    for_each_op(ops, [&](Op& o) {
+      switch (o.kind) {
+        case OpKind::kRead:
+        case OpKind::kWrite:
+        case OpKind::kPread:
+        case OpKind::kPwrite:
+        case OpKind::kPreadSync:
+        case OpKind::kPwriteSync:
+          break;
+        default:
+          return;
+      }
+      std::int64_t size = 0;
+      std::int64_t count = 1;
+      if (!const_value(o.size, &size)) return;
+      if (!o.count.empty() && !const_value(o.count, &count)) return;
+      const std::int64_t total = size * count;
+      if (total <= 0 || static_cast<util::Bytes>(size) == transfer) return;
+      o.size = Expr::lit(static_cast<std::int64_t>(transfer));
+      o.count = Expr::lit(std::max<std::int64_t>(
+          total / static_cast<std::int64_t>(transfer), 1));
+      ++n;
+    });
+  });
+  return n;
+}
+
+int set_interface(pattern::JobPattern& pat, pattern::Layer layer) {
+  if (layer != pattern::Layer::kPosix && layer != pattern::Layer::kStdio) {
+    return 0;
+  }
+  int n = 0;
+  for_each_tree(pat, [&](std::vector<Op>& ops) {
+    std::set<std::string> pinned;
+    collect_pinned(ops, &pinned);
+    rewrite_layer(ops, pinned, layer, &n);
+  });
+  return n;
+}
+
+}  // namespace wasp::advisor

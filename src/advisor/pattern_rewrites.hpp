@@ -1,0 +1,70 @@
+// What-if rewrites over the pattern IR (§IV-D).
+//
+// Each of the advisor's configuration changes — preload inputs to a
+// node-local tier, redirect intermediates to shm, enable HDF5 chunking,
+// grow the STDIO buffer — is expressed here as a pure IR -> IR transform
+// over a compiled JobPattern. Evaluating a recommendation is then: compile
+// the baseline once, rewrite, replay, compare profiles. The rewrites never
+// re-derive workload structure; they only edit the declarative pattern.
+#pragma once
+
+#include <string>
+
+#include "pattern/pattern.hpp"
+
+namespace wasp::advisor {
+
+/// Inputs of an MPIFileUtils-style parallel stage-in (§IV-D.1). Compilers
+/// whose workload supports preloading record one in the pattern's meta
+/// ("preload.*" keys) so the rewrite can also be applied to a pattern
+/// loaded from YAML (wasp_pattern whatif).
+struct PreloadSpec {
+  std::string src_dir;  ///< PFS directory the inputs live in (with '/')
+  std::string dst_dir;  ///< node-local target directory (with '/')
+  std::string suffix;   ///< input file name suffix, e.g. ".h5"
+  std::uint64_t files = 0;
+  int nodes = 1;
+  int ppn = 1;                           ///< ranks per node doing the copy
+  util::Bytes file_size = 0;
+  util::Bytes chunk = 4 * util::kMiB;    ///< copy transfer size
+  std::uint64_t floor_ns = 0;            ///< paced-copy floor per file
+};
+
+/// Recover the preload spec a compiler stored in `pat.meta`; `dst_dir`
+/// becomes `tier_mount + "/" + pat.name + "/"`. Returns false when the
+/// pattern carries no preload metadata.
+bool preload_spec_from_meta(const pattern::JobPattern& pat,
+                            const std::string& tier_mount, PreloadSpec* out);
+
+/// §IV-D.1: retarget every path under `spec.src_dir` to the node-local
+/// copies in `spec.dst_dir`, then prepend the paced parallel copy loop
+/// (plus a barrier) to the first phase of the first lane group.
+void apply_preload(pattern::JobPattern& pat, const PreloadSpec& spec);
+
+/// §IV-D.4 (shm redirect): rewrite every path that starts with `from` to
+/// start with `to` — op path templates and size_of("...") references
+/// inside expressions alike.
+void redirect_prefix(pattern::JobPattern& pat, const std::string& from,
+                     const std::string& to);
+
+/// §IV-D.3: set the HDF5 dataset chunk size of every lane group (0 turns
+/// chunking off and restores the deep object-header walk per open).
+void set_hdf5_chunking(pattern::JobPattern& pat, util::Bytes chunk_size);
+
+/// §IV-D.5: set the STDIO buffer of every lane group and of the DAG.
+void set_stdio_buffer(pattern::JobPattern& pat, util::Bytes buffer);
+
+/// What-if: rescale every constant-size transfer to `transfer`, keeping
+/// the bytes moved identical (count = max(size * count / transfer, 1)).
+/// Ops whose size or count is a computed expression are left untouched.
+/// Returns the number of ops rewritten.
+int set_transfer_size(pattern::JobPattern& pat, util::Bytes transfer);
+
+/// What-if: move plain open/close/read/write/seek/seek_batch chains to
+/// `layer` (posix <-> stdio). Handles also used by layer-pinned ops
+/// (pread/pwrite, scattered reads, wrap seeks, paced reads, hdf5 or
+/// compressed opens) keep their original layer. Returns the number of ops
+/// rewritten.
+int set_interface(pattern::JobPattern& pat, pattern::Layer layer);
+
+}  // namespace wasp::advisor

@@ -1,0 +1,19 @@
+// Generic pattern replayer: drives a JobPattern through the existing io::
+// interface layers (Posix/Stdio/MpiIo/Hdf5/CompressedPosix) and the
+// workflow DAG engine, producing the same engine-visible event sequence —
+// and therefore a byte-identical trace — as the imperative workload model
+// the pattern was compiled from.
+#pragma once
+
+#include "pattern/pattern.hpp"
+#include "runtime/simulation.hpp"
+
+namespace wasp::pattern {
+
+/// Spawn every lane (and the DAG driver, when the pattern has one) of
+/// `pat` into the simulation's engine. Mirrors a Workload::launch body:
+/// the caller runs the engine afterwards. The pattern is copied; the
+/// caller's object need not outlive the run.
+void replay(runtime::Simulation& sim, const JobPattern& pat);
+
+}  // namespace wasp::pattern

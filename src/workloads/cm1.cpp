@@ -1,8 +1,11 @@
 #include "workloads/cm1.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "io/posix.hpp"
+#include "pattern/replayer.hpp"
 #include "util/rng.hpp"
 
 namespace wasp::workloads {
@@ -94,6 +97,103 @@ sim::Task<void> rank_body(runtime::Simulation& sim, std::uint16_t app,
   co_await p.barrier();
 }
 
+/// Compile CM1's step-loop I/O into the pattern IR; replaying it is
+/// byte-identical to rank_body() above.
+pattern::JobPattern compile_cm1(const Cm1Params& P) {
+  namespace po = pattern::ops;
+  using pattern::Expr;
+  const auto lit = [](auto v) {
+    return Expr::lit(static_cast<std::int64_t>(v));
+  };
+
+  const auto writes_per_file = std::max<util::Bytes>(
+      (P.output_total / static_cast<util::Bytes>(P.output_files)) /
+          P.write_transfer,
+      1);
+  const int checkpoint_every =
+      P.checkpoints > 0 ? std::max(P.steps / P.checkpoints, 1) : P.steps + 1;
+  const auto ckpt_ops = std::max<util::Bytes>(
+      (P.restart_size / static_cast<util::Bytes>(std::max(P.checkpoints, 1))) /
+          P.write_transfer,
+      1);
+  const std::string kOF = std::to_string(P.output_files);
+  const std::string kS = std::to_string(P.steps);
+
+  pattern::JobPattern pat;
+  pat.name = "cm1";
+  pat.apps = {"cm1"};
+  pat.comms.push_back({"world", P.nodes * P.ranks_per_node, P.nodes, false});
+
+  pattern::LaneGroup g;
+  g.comm = "world";
+  g.rng_seed = 0xC31;
+
+  pattern::PhasePattern ph;
+  ph.app = "cm1";
+
+  // Phase 1: every rank reads one shared configuration file.
+  ph.ops.push_back(po::open(pattern::Layer::kPosix, "cfg",
+                            std::string(kConfigDir) + "{rank % " +
+                                std::to_string(P.config_files) + "}",
+                            io::OpenMode::kRead));
+  ph.ops.push_back(po::read(pattern::Layer::kPosix, "cfg",
+                            lit(P.config_file_size / 4), lit(4)));
+  ph.ops.push_back(po::close(pattern::Layer::kPosix, "cfg"));
+  ph.ops.push_back(po::barrier());
+
+  // Step loop: compute, rank-0 output files, periodic shared restart.
+  std::vector<pattern::Op> step_body;
+  step_body.push_back(po::compute(P.compute_per_step, 0.97, 0.06));
+  {
+    // Rank 0 writes this step's share of the output files; file index
+    // next_output == (OF * step) / S + k.
+    std::vector<pattern::Op> file_body;
+    file_body.push_back(po::open(
+        pattern::Layer::kPosix, "out",
+        std::string(kOutputDir) + "{(" + kOF + " * step) / " + kS + " + k}",
+        io::OpenMode::kWrite));
+    file_body.push_back(
+        po::seek_batch(pattern::Layer::kPosix, "out", lit(writes_per_file)));
+    file_body.push_back(po::write(pattern::Layer::kPosix, "out",
+                                  lit(P.write_transfer),
+                                  lit(writes_per_file)));
+    file_body.push_back(
+        po::seek_batch(pattern::Layer::kPosix, "out", lit(writes_per_file)));
+    file_body.push_back(po::close(pattern::Layer::kPosix, "out"));
+    std::vector<pattern::Op> rank0;
+    rank0.push_back(po::loop("k", Expr::lit(0),
+                             Expr("(" + kOF + " * (step + 1)) / " + kS +
+                                  " - (" + kOF + " * step) / " + kS),
+                             std::move(file_body)));
+    step_body.push_back(po::when(Expr("rank == 0"), std::move(rank0)));
+  }
+  {
+    // Every node leader opens/closes the shared restart file; only rank 0
+    // writes it (Fig. 1b).
+    std::vector<pattern::Op> rank0;
+    rank0.push_back(po::write(pattern::Layer::kPosix, "restart",
+                              lit(P.write_transfer), lit(ckpt_ops)));
+    std::vector<pattern::Op> leader;
+    leader.push_back(po::open(pattern::Layer::kPosix, "restart", kRestartPath,
+                              io::OpenMode::kWrite));
+    leader.push_back(po::when(Expr("rank == 0"), std::move(rank0)));
+    leader.push_back(po::close(pattern::Layer::kPosix, "restart"));
+    std::vector<pattern::Op> ckpt;
+    ckpt.push_back(po::when(Expr("leader"), std::move(leader)));
+    ckpt.push_back(po::barrier());
+    step_body.push_back(po::when(
+        Expr("(step + 1) % " + std::to_string(checkpoint_every) + " == 0"),
+        std::move(ckpt)));
+  }
+  ph.ops.push_back(
+      po::loop("step", Expr::lit(0), lit(P.steps), std::move(step_body)));
+  ph.ops.push_back(po::barrier());
+
+  g.phases.push_back(std::move(ph));
+  pat.groups.push_back(std::move(g));
+  return pat;
+}
+
 }  // namespace
 
 Cm1Params Cm1Params::test() {
@@ -129,7 +229,14 @@ Workload make_cm1(const Cm1Params& params) {
   w.setup = [params](runtime::Simulation& sim) {
     return stage_inputs(sim, params);
   };
+  w.compile = [params](runtime::Simulation&, const advisor::RunConfig&) {
+    return compile_cm1(params);
+  };
   w.launch = [params](runtime::Simulation& sim, const advisor::RunConfig&) {
+    pattern::replay(sim, compile_cm1(params));
+  };
+  w.launch_reference = [params](runtime::Simulation& sim,
+                                const advisor::RunConfig&) {
     const auto app = sim.tracer().register_app("cm1");
     auto& comm = sim.add_comm(params.nodes * params.ranks_per_node,
                               params.nodes);

@@ -1,8 +1,10 @@
 #include "workloads/ior.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "io/posix.hpp"
+#include "pattern/replayer.hpp"
 
 namespace wasp::workloads {
 namespace {
@@ -37,6 +39,53 @@ sim::Task<void> rank_body(runtime::Simulation& sim, std::uint16_t app,
   }
 }
 
+/// Compile the benchmark into the pattern IR; replaying it is
+/// byte-identical to rank_body() above.
+pattern::JobPattern compile_ior(runtime::Simulation& sim, const IorParams& P) {
+  namespace po = pattern::ops;
+  using pattern::Expr;
+  const auto lit = [](auto v) {
+    return Expr::lit(static_cast<std::int64_t>(v));
+  };
+
+  const std::string dir =
+      P.target_dir.empty() ? sim.pfs().mount() + "/ior/" : P.target_dir;
+  const std::string path =
+      P.file_per_process ? dir + "data.{rank}" : dir + "data.shared";
+  const auto ops = std::max<util::Bytes>(P.block / P.transfer, 1);
+  const Expr offset = P.file_per_process
+                          ? Expr::lit(0)
+                          : Expr("rank * " + std::to_string(P.block));
+
+  pattern::JobPattern pat;
+  pat.name = "ior";
+  pat.apps = {"ior"};
+  pat.comms.push_back({"world", P.nodes * P.ranks_per_node, P.nodes, false});
+
+  pattern::LaneGroup g;
+  g.comm = "world";
+
+  pattern::PhasePattern ph;
+  ph.app = "ior";
+  ph.ops.push_back(po::barrier());
+  ph.ops.push_back(
+      po::open(pattern::Layer::kPosix, "w", path, io::OpenMode::kWrite));
+  ph.ops.push_back(po::pwrite("w", offset, lit(P.transfer), lit(ops)));
+  ph.ops.push_back(po::close(pattern::Layer::kPosix, "w"));
+  ph.ops.push_back(po::barrier());
+  if (P.read_back) {
+    ph.ops.push_back(
+        po::open(pattern::Layer::kPosix, "r", path, io::OpenMode::kRead));
+    ph.ops.push_back(po::pread("r", offset, lit(P.transfer), lit(ops)));
+    ph.ops.push_back(po::close(pattern::Layer::kPosix, "r"));
+    ph.ops.push_back(po::barrier());
+  }
+
+  g.phases.push_back(std::move(ph));
+  pat.groups.push_back(std::move(g));
+  return pat;
+}
+
 }  // namespace
 
 IorParams IorParams::test() {
@@ -54,7 +103,14 @@ Workload make_ior(const IorParams& params) {
   w.decl.data_repr = "1D";
   w.decl.dataset_format = "bin";
   w.decl.cpu_cores_used_per_node = params.ranks_per_node;
+  w.compile = [params](runtime::Simulation& sim, const advisor::RunConfig&) {
+    return compile_ior(sim, params);
+  };
   w.launch = [params](runtime::Simulation& sim, const advisor::RunConfig&) {
+    pattern::replay(sim, compile_ior(sim, params));
+  };
+  w.launch_reference = [params](runtime::Simulation& sim,
+                                const advisor::RunConfig&) {
     const auto app = sim.tracer().register_app("ior");
     auto& comm = sim.add_comm(params.nodes * params.ranks_per_node,
                               params.nodes);

@@ -16,6 +16,7 @@
 namespace wasp::workloads {
 
 struct RegistryEntry {
+  std::string id;           ///< stable kebab-case identifier for CLIs
   std::string name;         ///< the paper's column label
   std::function<Workload()> make_paper;
   std::function<Workload()> make_test;
@@ -23,21 +24,33 @@ struct RegistryEntry {
 
 inline std::vector<RegistryEntry> paper_workloads() {
   return {
-      {"CM1", [] { return make_cm1(Cm1Params::paper()); },
+      {"cm1", "CM1", [] { return make_cm1(Cm1Params::paper()); },
        [] { return make_cm1(Cm1Params::test()); }},
-      {"HACC (FPP)", [] { return make_hacc(HaccParams::paper()); },
+      {"hacc-fpp", "HACC (FPP)", [] { return make_hacc(HaccParams::paper()); },
        [] { return make_hacc(HaccParams::test()); }},
-      {"Cosmoflow", [] { return make_cosmoflow(CosmoflowParams::paper()); },
+      {"cosmoflow", "Cosmoflow",
+       [] { return make_cosmoflow(CosmoflowParams::paper()); },
        [] { return make_cosmoflow(CosmoflowParams::test()); }},
-      {"JAG", [] { return make_jag(JagParams::paper()); },
+      {"jag", "JAG", [] { return make_jag(JagParams::paper()); },
        [] { return make_jag(JagParams::test()); }},
-      {"Montage MPI",
+      {"montage-mpi", "Montage MPI",
        [] { return make_montage_mpi(MontageMpiParams::paper()); },
        [] { return make_montage_mpi(MontageMpiParams::test()); }},
-      {"Montage Pegasus",
+      {"montage-pegasus", "Montage Pegasus",
        [] { return make_montage_pegasus(MontagePegasusParams::paper()); },
        [] { return make_montage_pegasus(MontagePegasusParams::test()); }},
   };
+}
+
+/// Find a registry entry by its stable id, accepting a few legacy CLI
+/// aliases ("hacc" for "hacc-fpp"). Returns -1 when nothing matches.
+inline int find_workload(const std::string& key) {
+  const auto entries = paper_workloads();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id == key) return static_cast<int>(i);
+  }
+  if (key == "hacc") return find_workload("hacc-fpp");
+  return -1;
 }
 
 }  // namespace wasp::workloads

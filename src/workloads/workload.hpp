@@ -14,6 +14,7 @@
 #include "analysis/analyzer.hpp"
 #include "cluster/spec.hpp"
 #include "core/characterizer.hpp"
+#include "pattern/pattern.hpp"
 #include "runtime/scenario_runner.hpp"
 #include "runtime/simulation.hpp"
 
@@ -23,8 +24,20 @@ struct Workload {
   charz::WorkloadDecl decl;
   /// Stage input datasets (runs untraced before t=0 of the job).
   std::function<sim::Task<void>(runtime::Simulation&)> setup;
-  /// Spawn all job processes into the engine.
+  /// Spawn all job processes into the engine. For the ported models this is
+  /// compile + pattern::replay.
   std::function<void(runtime::Simulation&, const advisor::RunConfig&)> launch;
+  /// Compile params + RunConfig into the declarative pattern IR (null when
+  /// the model has no pattern compiler). Takes the Simulation because file
+  /// paths depend on its mount table.
+  std::function<pattern::JobPattern(runtime::Simulation&,
+                                    const advisor::RunConfig&)>
+      compile;
+  /// The original imperative launch path, kept as the equivalence oracle:
+  /// replaying `compile`'s pattern must produce a byte-identical trace
+  /// (tests/test_pattern_equivalence.cpp).
+  std::function<void(runtime::Simulation&, const advisor::RunConfig&)>
+      launch_reference;
 };
 
 struct RunOutput {

@@ -1,0 +1,148 @@
+// Pattern IR unit tests: the expression mini-language, the canonical YAML
+// round trip (dump -> load -> dump is byte-identical), and diagnostics on
+// malformed input.
+#include <gtest/gtest.h>
+
+#include "pattern/pattern.hpp"
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace wasp::pattern {
+namespace {
+
+TEST(PatternExpr, EvaluatesLaneEnvironment) {
+  Env env;
+  env.set("rank", 5);
+  env.set("node", 2);
+  EvalContext ctx{&env, nullptr};
+  EXPECT_EQ(Expr("rank * 3 + node").eval(ctx), 17);
+  EXPECT_EQ(Expr("max(rank - 7, 1)").eval(ctx), 1);
+  EXPECT_EQ(Expr("min(rank, node)").eval(ctx), 2);
+  EXPECT_EQ(Expr("ceil_div(rank, node)").eval(ctx), 3);
+  EXPECT_EQ(Expr("7 / 2").eval(ctx), 3);  // truncating division
+  EXPECT_EQ(Expr("-7 / 2").eval(ctx), -3);
+  EXPECT_EQ(Expr("rank == 5 && node < 3").eval(ctx), 1);
+  EXPECT_EQ(Expr("rank != 5 || node >= 9").eval(ctx), 0);
+}
+
+TEST(PatternExpr, SizeOfExpandsTemplateAndAsksProvider) {
+  Env env;
+  env.set("rank", 3);
+  EvalContext ctx{&env, [](const std::string& path) -> std::int64_t {
+                    EXPECT_EQ(path, "/p/x/3.ckpt");
+                    return 4096;
+                  }};
+  EXPECT_EQ(Expr("size_of(\"/p/x/{rank}.ckpt\") / 1024").eval(ctx), 4);
+  EXPECT_EQ(expand("/p/x/{rank + 1}.out", ctx), "/p/x/4.out");
+}
+
+TEST(PatternExpr, RejectsMalformedSource) {
+  EXPECT_THROW(Expr("1 +"), util::SimError);
+  EXPECT_THROW(Expr("max(1)"), util::SimError);
+  EXPECT_THROW(Expr("(2 * 3"), util::SimError);
+  EXPECT_THROW(Expr("size_of(rank)"), util::SimError);
+}
+
+TEST(PatternExpr, EvalErrorsAreDiagnosed) {
+  Env env;
+  EvalContext ctx{&env, nullptr};
+  EXPECT_THROW(Expr("bogus_var + 1").eval(ctx), util::SimError);
+  EXPECT_THROW(Expr("1 / 0").eval(ctx), util::SimError);
+  EXPECT_THROW(Expr().eval(ctx), util::SimError);
+  // size_of without a provider.
+  EXPECT_THROW(Expr("size_of(\"/p/x\")").eval(ctx), util::SimError);
+}
+
+// Every workload compiler's output must survive the YAML round trip
+// byte-identically: dump -> load -> dump reproduces the first dump.
+TEST(PatternYaml, CompiledPatternsRoundTripByteIdentical) {
+  auto spec = cluster::lassen(4);
+  spec.node.cpu_cores = 8;
+  for (const auto& entry : workloads::paper_workloads()) {
+    SCOPED_TRACE(entry.id);
+    runtime::Simulation sim(spec);
+    auto w = entry.make_test();
+    ASSERT_TRUE(static_cast<bool>(w.compile));
+    const auto pat = w.compile(sim, advisor::RunConfig{});
+    EXPECT_EQ(pat.name, entry.id);
+    const std::string once = to_yaml(pat);
+    const JobPattern loaded = pattern_from_yaml(once);
+    EXPECT_EQ(to_yaml(loaded), once);
+  }
+}
+
+TEST(PatternYaml, RoundTripPreservesStructure) {
+  runtime::Simulation sim(cluster::lassen(2));
+  auto w = workloads::make_montage_pegasus(
+      workloads::MontagePegasusParams::test());
+  const auto pat = w.compile(sim, advisor::RunConfig{});
+  const JobPattern loaded = pattern_from_yaml(to_yaml(pat));
+  EXPECT_EQ(loaded.name, pat.name);
+  EXPECT_EQ(loaded.apps, pat.apps);
+  EXPECT_EQ(loaded.comms.size(), pat.comms.size());
+  EXPECT_EQ(loaded.groups.size(), pat.groups.size());
+  ASSERT_EQ(loaded.dag.stages.size(), pat.dag.stages.size());
+  for (std::size_t i = 0; i < pat.dag.stages.size(); ++i) {
+    EXPECT_EQ(loaded.dag.stages[i].app, pat.dag.stages[i].app);
+    EXPECT_EQ(loaded.dag.stages[i].count, pat.dag.stages[i].count);
+    EXPECT_EQ(loaded.dag.stages[i].deps.size(),
+              pat.dag.stages[i].deps.size());
+  }
+}
+
+TEST(PatternYaml, MalformedInputsThrowDiagnostics) {
+  // Root must be a map.
+  EXPECT_THROW(pattern_from_yaml("- 1\n- 2\n"), util::SimError);
+  // Unknown op kind.
+  EXPECT_THROW(pattern_from_yaml("name: x\n"
+                                 "groups:\n"
+                                 "  - comm: world\n"
+                                 "    phases:\n"
+                                 "      - app: a\n"
+                                 "        ops:\n"
+                                 "          - op: frobnicate\n"),
+               util::SimError);
+  // Group without a communicator.
+  EXPECT_THROW(pattern_from_yaml("name: x\ngroups:\n  - rng_seed: 1\n"),
+               util::SimError);
+  // Non-integer where an integer is required.
+  EXPECT_THROW(pattern_from_yaml("name: x\n"
+                                 "comms:\n"
+                                 "  - name: world\n"
+                                 "    procs: many\n"),
+               util::SimError);
+  // Broken expression inside an op field.
+  EXPECT_THROW(pattern_from_yaml("name: x\n"
+                                 "groups:\n"
+                                 "  - comm: world\n"
+                                 "    phases:\n"
+                                 "      - app: a\n"
+                                 "        ops:\n"
+                                 "          - op: pread\n"
+                                 "            handle: f\n"
+                                 "            size: \"1 +\"\n"),
+               util::SimError);
+  try {
+    pattern_from_yaml("name: x\ngroups:\n  - rng_seed: 1\n");
+    FAIL() << "expected SimError";
+  } catch (const util::SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("comm"), std::string::npos);
+  }
+}
+
+TEST(PatternEnums, RoundTripAndRejectUnknown) {
+  for (auto k : {OpKind::kGroup, OpKind::kOpen, OpKind::kReadScattered,
+                 OpKind::kPacedRead, OpKind::kSpawn}) {
+    EXPECT_EQ(op_kind_from(to_string(k)), k);
+  }
+  for (auto l : {Layer::kPosix, Layer::kStdio, Layer::kHdf5,
+                 Layer::kCompressed}) {
+    EXPECT_EQ(layer_from(to_string(l)), l);
+  }
+  EXPECT_THROW(op_kind_from("nope"), util::SimError);
+  EXPECT_THROW(layer_from("nope"), util::SimError);
+  EXPECT_THROW(open_mode_from("nope"), util::SimError);
+}
+
+}  // namespace
+}  // namespace wasp::pattern

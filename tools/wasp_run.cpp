@@ -5,11 +5,10 @@
 //            [--yaml out.yaml] [--csv out.csv] [--test-scale] [--jobs N]
 //            [--telemetry out.json] [--trace-out out.trace.json]
 //
-// <workload> is one of: cm1 hacc cosmoflow jag montage-mpi montage-pegasus
+// <workload> is a registry id; `wasp_run --list` prints them all.
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 
 #include "advisor/rules.hpp"
 #include "telemetry_cli.hpp"
@@ -21,11 +20,17 @@ using namespace wasp;
 
 namespace {
 
+void list_workloads(std::ostream& os) {
+  os << "available workloads:\n";
+  for (const auto& e : workloads::paper_workloads()) {
+    os << "  " << e.id << "  (" << e.name << ")\n";
+  }
+}
+
 void usage() {
   std::cerr
       << "usage: wasp_run <workload> [options]\n"
-         "  workloads: cm1 | hacc | cosmoflow | jag | montage-mpi |"
-         " montage-pegasus\n"
+         "  --list          print the registered workload ids and exit\n"
          "  --nodes N       cluster size (default 32)\n"
          "  --optimized     apply the advisor's recommendations and re-run\n"
          "  --test-scale    use the reduced test-scale parameters\n"
@@ -37,12 +42,8 @@ void usage() {
          "  --telemetry F   write the metrics-registry snapshot JSON\n"
          "  --trace-out F   write pipeline spans as Chrome trace-event"
          " JSON\n";
+  list_workloads(std::cerr);
 }
-
-const std::map<std::string, std::size_t> kNames = {
-    {"cm1", 0},        {"hacc", 1},        {"cosmoflow", 2},
-    {"jag", 3},        {"montage-mpi", 4}, {"montage-pegasus", 5},
-};
 
 }  // namespace
 
@@ -52,10 +53,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string name = argv[1];
-  auto it = kNames.find(name);
-  if (it == kNames.end()) {
+  if (name == "--list") {
+    list_workloads(std::cout);
+    return 0;
+  }
+  const int index = workloads::find_workload(name);
+  if (index < 0) {
     std::cerr << "unknown workload: " << name << "\n";
-    usage();
+    list_workloads(std::cerr);
     return 2;
   }
 
@@ -101,7 +106,8 @@ int main(int argc, char** argv) {
   }
   toolcli::enable_telemetry(telemetry_out, spans_out);
 
-  const auto entry = workloads::paper_workloads()[it->second];
+  const auto entry =
+      workloads::paper_workloads()[static_cast<std::size_t>(index)];
   auto workload = test_scale ? entry.make_test() : entry.make_paper();
 
   std::cerr << "running " << entry.name << " on " << nodes << " nodes...\n";
