@@ -9,6 +9,7 @@
 
 #include "runtime/scenario_runner.hpp"
 #include "util/parallel.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
 
@@ -21,7 +22,10 @@ namespace wasp::benchutil {
 inline int init_jobs(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--jobs") {
-      const int jobs = std::atoi(argv[i + 1]);
+      // cli_int rejects garbage ("--jobs banana" used to silently become 0
+      // via atoi and fall back to the default) and exits 2 with the flag
+      // named.
+      const int jobs = static_cast<int>(util::cli_int("--jobs", argv[i + 1]));
       if (jobs > 0) util::set_default_jobs(jobs);
     }
   }

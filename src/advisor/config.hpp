@@ -7,6 +7,7 @@
 #include <string>
 
 #include "io/mpiio.hpp"
+#include "sim/faults.hpp"
 #include "util/units.hpp"
 
 namespace wasp::advisor {
@@ -49,6 +50,11 @@ struct RunConfig {
   bool locality_aware_placement = false;
   /// Overlap checkpoint writes with the next compute phase.
   bool async_checkpoint_drain = false;
+
+  // ---- Fault injection ----
+  /// Deterministic fault schedule for the run (empty = fault-free). The
+  /// runner installs it on the Simulation before launching the traced job.
+  sim::FaultPlan faults;
 };
 
 }  // namespace wasp::advisor

@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -41,6 +43,19 @@ std::uint64_t read_u64(std::istream& is) {
   std::uint64_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
+}
+
+/// Remove a partially-written chunk so a disk-full flush never leaves a
+/// truncated file that a later load would diagnose as corruption. Guarded:
+/// only regular files and symlinks are unlinked (tests symlink chunk paths
+/// at /dev/full; a device node must never be removed).
+void remove_partial_chunk(const std::string& path) {
+  std::error_code ec;
+  const auto st = std::filesystem::symlink_status(path, ec);
+  if (!ec && (std::filesystem::is_regular_file(st) ||
+              std::filesystem::is_symlink(st))) {
+    std::filesystem::remove(path, ec);
+  }
 }
 
 template <typename T>
@@ -253,8 +268,20 @@ void SpillColumnStore::flush_open_chunk() {
   const std::size_t rows = open_.rows();
   if (rows == 0) return;
   const std::string path = chunk_file_path(chunks_written_);
+  errno = 0;
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  WASP_CHECK_MSG(os.good(), "cannot open spill chunk for writing: " + path);
+  if (!os.good()) {
+    const int err = errno;
+    throw util::SimError("cannot open spill chunk for writing: " + path +
+                         (err != 0 ? std::string(" (") + std::strerror(err) + ")"
+                                   : std::string()));
+  }
+  // col_stored_ accumulates the exact on-disk payload per column as each is
+  // written; its delta across this flush is the expected body size, used to
+  // diagnose short writes below.
+  std::uint64_t stored_before = 0;
+  for (std::size_t c = 0; c < kNumCols; ++c) stored_before += col_stored_[c];
+  errno = 0;
   const std::uint64_t flags = has_aux_ ? kFlagAux : 0;
   if (opts_.compress) {
     os.write(kChunkMagicV2, sizeof(kChunkMagicV2));
@@ -307,7 +334,30 @@ void SpillColumnStore::flush_open_chunk() {
     }
   }
   os.flush();
-  WASP_CHECK_MSG(os.good(), "short write to spill chunk: " + path);
+  if (!os.good()) {
+    // Graceful degradation on a real disk error (ENOSPC, EIO, quota): close
+    // the stream, measure what actually landed, delete the partial chunk so
+    // the store directory never holds a truncated file, and surface one
+    // diagnosed error instead of a corrupt-chunk failure at read time.
+    const int err = errno;
+    std::uint64_t stored_after = 0;
+    for (std::size_t c = 0; c < kNumCols; ++c) stored_after += col_stored_[c];
+    const std::uint64_t expected =
+        sizeof(kChunkMagicV2) + 3 * sizeof(std::uint64_t) +
+        (stored_after - stored_before);
+    os.close();
+    std::error_code ec;
+    const std::uint64_t actual = std::filesystem::is_regular_file(path, ec)
+                                     ? std::filesystem::file_size(path, ec)
+                                     : 0;
+    remove_partial_chunk(path);
+    throw util::SimError(
+        "short write to spill chunk: " + path + ": expected " +
+        std::to_string(expected) + " bytes, wrote " + std::to_string(actual) +
+        (err != 0 ? std::string(" (") + std::strerror(err) + ")"
+                  : std::string()) +
+        "; partial chunk removed");
+  }
   bytes_written_.add(static_cast<std::uint64_t>(os.tellp()));
   // Cells are monotonic, so bring raw_bytes_ up to the running col_raw_
   // total by its delta instead of recomputing from zero.
@@ -322,8 +372,14 @@ std::shared_ptr<const SpillColumnStore::ChunkData> SpillColumnStore::load_chunk(
     std::size_t index) const {
   WASP_OBS_SPAN("spill.load");
   const std::string path = chunk_file_path(index);
+  errno = 0;
   std::ifstream is(path, std::ios::binary);
-  WASP_CHECK_MSG(is.good(), "cannot open spill chunk: " + path);
+  if (!is.good()) {
+    const int err = errno;
+    throw util::SimError("cannot open spill chunk: " + path +
+                         (err != 0 ? std::string(" (") + std::strerror(err) + ")"
+                                   : std::string()));
+  }
   char magic[sizeof(kChunkMagicV2)] = {};
   is.read(magic, sizeof(magic));
   const bool v2 =

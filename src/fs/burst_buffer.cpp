@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/faults.hpp"
 #include "util/error.hpp"
 
 namespace wasp::fs {
@@ -23,6 +24,10 @@ BurstBufferFS::BurstBufferFS(sim::Engine& eng,
 
 sim::Task<void> BurstBufferFS::meta(ProcSite, MetaOp, FileId) {
   ++counters_.meta_ops;
+  if (faults_ != nullptr) {
+    const sim::Time extra = faults_->spike(eng_.now());
+    if (extra > 0) co_await sim::Delay(eng_, extra);
+  }
   // Distributed KV metadata: constant low latency, no central bottleneck.
   co_await sim::Delay(eng_, spec_.meta_latency);
 }
@@ -37,6 +42,11 @@ sim::Task<void> BurstBufferFS::io(const IoRequest& req) {
     counters_.bytes_written += total;
     ns_.inode(req.file).version++;
   }
+  if (faults_ != nullptr) {
+    // Shared-SSD spike: a busy shard stalls the whole request.
+    const sim::Time extra = faults_->spike(eng_.now());
+    if (extra > 0) co_await sim::Delay(eng_, extra);
+  }
   const auto server = static_cast<std::size_t>(
       (req.file * 131 + req.offset / std::max<Bytes>(spec_.shard_size, 1)) %
       static_cast<Bytes>(spec_.num_servers));
@@ -44,7 +54,10 @@ sim::Task<void> BurstBufferFS::io(const IoRequest& req) {
 }
 
 Bytes BurstBufferFS::free_bytes(ProcSite) const {
-  return used_ >= spec_.capacity ? 0 : spec_.capacity - used_;
+  const Bytes cap = faults_ != nullptr
+                        ? faults_->clamp_capacity(spec_.capacity, eng_.now())
+                        : spec_.capacity;
+  return used_ >= cap ? 0 : cap - used_;
 }
 
 void BurstBufferFS::note_growth(ProcSite, std::int64_t delta) {

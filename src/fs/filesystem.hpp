@@ -13,6 +13,10 @@
 #include "fs/types.hpp"
 #include "sim/task.hpp"
 
+namespace wasp::sim {
+class FaultChannel;
+}
+
 namespace wasp::fs {
 
 /// Running totals a filesystem keeps about itself (tests + Table IX-style
@@ -57,8 +61,18 @@ class FileSystemSim {
 
   const FsCounters& counters() const noexcept { return counters_; }
 
+  /// Fault-injection channel wired by Simulation::install_faults; nullptr
+  /// (the default) means this filesystem runs fault-free. Implementations
+  /// consult it for latency spikes and capacity clamps; the io::* layers
+  /// consult it for error injection and retry policy.
+  void set_fault_channel(sim::FaultChannel* channel) noexcept {
+    faults_ = channel;
+  }
+  sim::FaultChannel* fault_channel() const noexcept { return faults_; }
+
  protected:
   FsCounters counters_;
+  sim::FaultChannel* faults_ = nullptr;
 };
 
 }  // namespace wasp::fs

@@ -1,5 +1,6 @@
 #include "fs/node_local.hpp"
 
+#include "sim/faults.hpp"
 #include "util/error.hpp"
 
 namespace wasp::fs {
@@ -30,6 +31,10 @@ Namespace& NodeLocalFS::ns(ProcSite site) {
 sim::Task<void> NodeLocalFS::meta(ProcSite site, MetaOp, FileId) {
   WASP_CHECK(site.node >= 0 && site.node < num_nodes());
   ++counters_.meta_ops;
+  if (faults_ != nullptr) {
+    const sim::Time extra = faults_->spike(eng_.now());
+    if (extra > 0) co_await sim::Delay(eng_, extra);
+  }
   co_await sim::Delay(eng_, spec_.meta_latency);
 }
 
@@ -43,6 +48,11 @@ sim::Task<void> NodeLocalFS::io(const IoRequest& req) {
     counters_.bytes_written += total;
     ns(req.site).inode(req.file).version++;
   }
+  if (faults_ != nullptr) {
+    // Local-device stall (SSD GC pause, shm pressure): op completes, slower.
+    const sim::Time extra = faults_->spike(eng_.now());
+    if (extra > 0) co_await sim::Delay(eng_, extra);
+  }
   co_await nodes_[static_cast<std::size_t>(req.site.node)].link->transfer(
       total, req.size);
 }
@@ -53,8 +63,11 @@ Bytes NodeLocalFS::used_bytes(int node) const {
 }
 
 Bytes NodeLocalFS::free_bytes(ProcSite site) const {
+  const Bytes cap = faults_ != nullptr
+                        ? faults_->clamp_capacity(spec_.capacity, eng_.now())
+                        : spec_.capacity;
   const Bytes used = used_bytes(site.node);
-  return used >= spec_.capacity ? 0 : spec_.capacity - used;
+  return used >= cap ? 0 : cap - used;
 }
 
 void NodeLocalFS::note_growth(ProcSite site, std::int64_t delta) {

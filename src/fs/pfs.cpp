@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/faults.hpp"
 #include "sim/waitgroup.hpp"
 #include "util/error.hpp"
 
@@ -41,6 +42,11 @@ sim::Task<void> ParallelFS::meta(ProcSite, MetaOp op, FileId) {
     // lseek never leaves the client: it only moves a file-table offset.
     co_await sim::Delay(eng_, 1 * sim::kUs);
     co_return;
+  }
+  if (faults_ != nullptr) {
+    // Degraded-MDS spike: the op completes, slower.
+    const sim::Time extra = faults_->spike(eng_.now());
+    if (extra > 0) co_await sim::Delay(eng_, extra);
   }
   // Sample queue depth at arrival: the longer the storm, the slower each op.
   const auto waiting = static_cast<double>(mds_slots_.queue_length());
@@ -98,6 +104,12 @@ sim::Task<void> ParallelFS::io(const IoRequest& req) {
   // Per-op client cost (syscall + VFS) applies regardless of where the data
   // comes from.
   co_await sim::Delay(eng_, kClientOpOverhead * req.op_count);
+
+  if (faults_ != nullptr) {
+    // Slow-stripe spike: a degraded server stalls the whole request.
+    const sim::Time extra = faults_->spike(eng_.now());
+    if (extra > 0) co_await sim::Delay(eng_, extra);
+  }
 
   if (req.sync_each_op && spec_.sync_latency_factor > 0) {
     // Serialized, contention-inflated per-op latency (library metadata
@@ -184,7 +196,10 @@ void ParallelFS::drop_client_caches() {
 }
 
 Bytes ParallelFS::free_bytes(ProcSite) const {
-  return used_ >= spec_.capacity ? 0 : spec_.capacity - used_;
+  const Bytes cap = faults_ != nullptr
+                        ? faults_->clamp_capacity(spec_.capacity, eng_.now())
+                        : spec_.capacity;
+  return used_ >= cap ? 0 : cap - used_;
 }
 
 void ParallelFS::note_growth(ProcSite, std::int64_t delta) {

@@ -79,9 +79,28 @@ class Posix {
   bool exists(const std::string& path);
 
  private:
+  /// Per-call shape of the shared data path: direction, offset handling,
+  /// request flags, and which mode checks the public entry point performs
+  /// (pread_sync historically skips the read-mode check).
+  struct DataOpSpec {
+    fs::IoKind kind = fs::IoKind::kRead;
+    bool advance_offset = false;
+    bool sync_each_op = false;
+    bool latency_each_op = false;
+    bool check_read_mode = true;
+  };
+
+  /// The one data funnel: fault consultation + retry/backoff wrap the
+  /// bookkeeping and the fs request. Every failed attempt is traced as an
+  /// extra op; exhausting the retry policy throws sim::FaultError.
   sim::Task<void> data_op(File& f, fs::Bytes offset, fs::Bytes size,
-                          std::uint32_t count, fs::IoKind kind,
-                          bool advance_offset);
+                          std::uint32_t count, DataOpSpec spec);
+
+  /// Metadata op with the same fault/retry semantics; records both failed
+  /// attempts and the successful op under `top`/`key`.
+  sim::Task<void> faulted_meta(fs::FileSystemSim& fsys, fs::MetaOp mop,
+                               fs::FileId id, trace::Op top,
+                               trace::FileKey key, const std::string& what);
 
   runtime::Proc& p_;
   trace::Iface iface_;

@@ -28,6 +28,7 @@
 #include "io/hdf5.hpp"
 #include "io/mpiio.hpp"
 #include "io/posix.hpp"
+#include "sim/faults.hpp"
 #include "pattern/expr.hpp"
 #include "util/units.hpp"
 
@@ -177,6 +178,10 @@ struct JobPattern {
   /// Free-form compile provenance (workload params, rewrite hints) so
   /// tools and rewrites can act on a dumped pattern without the compiler.
   std::vector<std::pair<std::string, std::string>> meta;
+  /// Deterministic fault schedule to install at replay (empty = none);
+  /// carried through the YAML as its canonical spec string. A plan already
+  /// installed on the Simulation (e.g. from RunConfig) takes precedence.
+  sim::FaultPlan faults;
 
   const std::string* find_meta(const std::string& key) const;
   void set_meta(const std::string& key, const std::string& value);

@@ -243,6 +243,7 @@ std::vector<Op> load_ops(const Node* seq, const std::string& where) {
 std::string to_yaml(const JobPattern& pat) {
   Writer y;
   y.scalar("name", pat.name);
+  if (pat.faults.enabled()) y.scalar("faults", pat.faults.to_spec());
   if (!pat.apps.empty()) {
     y.begin_seq("apps");
     for (const auto& a : pat.apps) y.scalar_item(a);
@@ -352,6 +353,10 @@ JobPattern pattern_from_yaml(const std::string& text) {
   if (!root.is_map()) bad("document root is not a map");
   JobPattern pat;
   pat.name = get_str(root, "name");
+  if (const Node* faults = root.find("faults")) {
+    if (!faults->is_scalar()) bad("'faults' is not a scalar spec string");
+    pat.faults = sim::FaultPlan::parse(faults->scalar());
+  }
   if (const Node* apps = root.find("apps")) {
     if (!apps->is_seq()) bad("'apps' is not a sequence");
     for (const Node& a : apps->items()) pat.apps.push_back(a.scalar());

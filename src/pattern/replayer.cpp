@@ -495,6 +495,12 @@ sim::Task<void> dag_driver(std::shared_ptr<RunState> st) {
 }  // namespace
 
 void replay(runtime::Simulation& sim, const JobPattern& pat) {
+  // A pattern-borne fault plan installs here unless the runner already
+  // installed one (RunConfig.faults wins, keeping the equivalence oracle
+  // comparable: pattern path and imperative path see the same injector).
+  if (pat.faults.enabled() && sim.faults() == nullptr) {
+    sim.install_faults(pat.faults);
+  }
   auto st = std::make_shared<RunState>(sim, pat);
   for (const std::string& name : st->pat.apps) {
     st->app_ids.emplace(name, sim.tracer().register_app(name));

@@ -22,6 +22,14 @@ Simulation::Simulation(cluster::ClusterSpec spec) : spec_(std::move(spec)) {
   }
 }
 
+void Simulation::install_faults(const sim::FaultPlan& plan) {
+  WASP_CHECK_MSG(faults_ == nullptr, "fault plan already installed");
+  faults_ = std::make_unique<sim::FaultInjector>(plan);
+  for (fs::FileSystemSim* fsys : mounts_.mounts()) {
+    fsys->set_fault_channel(faults_->channel_for(fsys->name()));
+  }
+}
+
 fs::BurstBufferFS& Simulation::shared_bb() {
   WASP_CHECK_MSG(shared_bb_ != nullptr, "cluster has no shared burst buffer");
   return *shared_bb_;

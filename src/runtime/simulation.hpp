@@ -14,6 +14,7 @@
 #include "fs/pfs.hpp"
 #include "mpi/comm.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 #include "trace/tracer.hpp"
 
 namespace wasp::runtime {
@@ -54,6 +55,13 @@ class Simulation {
   /// subgroups for node-scoped collective I/O).
   mpi::Comm& add_comm_mapped(std::vector<int> rank_to_node);
 
+  /// Install a fault plan: builds the injector and wires a channel into
+  /// every mounted filesystem the plan targets. Call before launching the
+  /// traced job; installing twice is an error (callers gate on faults()).
+  void install_faults(const sim::FaultPlan& plan);
+  /// The run's fault injector, or nullptr when the run is fault-free.
+  sim::FaultInjector* faults() noexcept { return faults_.get(); }
+
  private:
   cluster::ClusterSpec spec_;
   sim::Engine engine_;
@@ -63,6 +71,7 @@ class Simulation {
   std::vector<std::unique_ptr<mpi::Comm>> comms_;
   fs::MountTable mounts_;
   trace::Tracer tracer_;
+  std::unique_ptr<sim::FaultInjector> faults_;
 };
 
 }  // namespace wasp::runtime

@@ -1,0 +1,317 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/parse.hpp"
+
+namespace wasp::sim {
+namespace {
+
+/// FNV-1a over the filesystem name: channel streams are keyed by *name*,
+/// not creation order, so wiring order can never change the schedule.
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw util::SimError("bad fault spec: " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      const std::string piece = trim(s.substr(start, i - start));
+      if (!piece.empty()) out.push_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// "key=value" -> (key, value); throws naming the field otherwise.
+std::pair<std::string, std::string> key_value(const std::string& field) {
+  const auto eq = field.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    bad("expected key=value, got '" + field + "'");
+  }
+  return {trim(field.substr(0, eq)), trim(field.substr(eq + 1))};
+}
+
+double probability(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(v >= 0.0) || v > 1.0) {
+    bad(key + " wants a probability in [0,1], got '" + text + "'");
+  }
+  return v;
+}
+
+Time time_value(const std::string& key, const std::string& text) {
+  const auto sec = util::parse_seconds(text);
+  if (!sec || *sec < 0) {
+    bad(key + " wants a duration like 10ms, got '" + text + "'");
+  }
+  return static_cast<Time>(std::llround(*sec * 1e9));
+}
+
+std::uint64_t uint_value(const std::string& key, const std::string& text) {
+  const auto v = util::parse_uint(text);
+  if (!v) bad(key + " wants an unsigned integer, got '" + text + "'");
+  return *v;
+}
+
+/// Canonical duration rendering: the largest unit that divides evenly.
+std::string fmt_time(Time t) {
+  char buf[32];
+  if (t % kSec == 0 && t > 0) {
+    std::snprintf(buf, sizeof(buf), "%llus",
+                  static_cast<unsigned long long>(t / kSec));
+  } else if (t % kMs == 0 && t > 0) {
+    std::snprintf(buf, sizeof(buf), "%llums",
+                  static_cast<unsigned long long>(t / kMs));
+  } else if (t % kUs == 0 && t > 0) {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(t / kUs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(t));
+  }
+  return buf;
+}
+
+std::string fmt_prob(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", p);
+  return buf;
+}
+
+void parse_retry_fields(const std::string& body, RetryPolicy* retry) {
+  for (const auto& field : split(body, ',')) {
+    const auto [key, value] = key_value(field);
+    if (key == "attempts") {
+      const std::uint64_t v = uint_value(key, value);
+      if (v == 0) bad("attempts must be >= 1");
+      retry->max_attempts = static_cast<std::uint32_t>(v);
+    } else if (key == "backoff") {
+      retry->backoff = time_value(key, value);
+    } else if (key == "mult") {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || v < 1.0) {
+        bad("mult wants a factor >= 1, got '" + value + "'");
+      }
+      retry->multiplier = v;
+    } else if (key == "max") {
+      retry->max_backoff = time_value(key, value);
+    } else {
+      bad("unknown retry field '" + key + "'");
+    }
+  }
+}
+
+void parse_target_fields(const std::string& fs, const std::string& body,
+                         TargetFaults* t) {
+  t->fs = fs;
+  for (const auto& field : split(body, ',')) {
+    const auto [key, value] = key_value(field);
+    if (key == "eio") {
+      t->eio = probability(key, value);
+    } else if (key == "enospc") {
+      t->enospc = probability(key, value);
+    } else if (key == "meta") {
+      t->meta = probability(key, value);
+    } else if (key == "slow") {
+      t->slow = probability(key, value);
+    } else if (key == "spike") {
+      t->spike = time_value(key, value);
+    } else if (key == "fail_latency") {
+      t->fail_latency = time_value(key, value);
+    } else if (key == "capacity") {
+      const auto b = util::parse_bytes(value);
+      if (!b) bad("capacity wants a size like 64MB, got '" + value + "'");
+      t->capacity = *b;
+    } else if (key == "from") {
+      t->from = time_value(key, value);
+    } else if (key == "until") {
+      t->until = time_value(key, value);
+    } else {
+      bad("unknown fault field '" + key + "' for target '" + fs + "'");
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kEio:
+      return "EIO";
+    case FaultKind::kEnospc:
+      return "ENOSPC";
+    case FaultKind::kMetaError:
+      return "metadata error";
+  }
+  return "?";
+}
+
+Time RetryPolicy::delay_for(std::uint32_t attempt) const noexcept {
+  double d = static_cast<double>(backoff);
+  for (std::uint32_t i = 1; i < attempt; ++i) d *= multiplier;
+  const double cap = static_cast<double>(max_backoff);
+  if (d > cap) d = cap;
+  return static_cast<Time>(d);
+}
+
+FaultKind FaultChannel::data_fault(bool is_write, Time now) {
+  const double p_eio = cfg_.eio;
+  const double p_enospc = is_write ? cfg_.enospc : 0.0;
+  if (p_eio <= 0.0 && p_enospc <= 0.0) return FaultKind::kNone;
+  if (!active(now)) return FaultKind::kNone;
+  // One draw per attempt, thresholds stacked: [0,eio) -> EIO,
+  // [eio, eio+enospc) -> ENOSPC.
+  const double u = rng_.uniform();
+  if (u < p_eio) {
+    ++owner_->stats_.io_errors;
+    return FaultKind::kEio;
+  }
+  if (u < p_eio + p_enospc) {
+    ++owner_->stats_.enospc_errors;
+    return FaultKind::kEnospc;
+  }
+  return FaultKind::kNone;
+}
+
+FaultKind FaultChannel::meta_fault(Time now) {
+  if (cfg_.meta <= 0.0 || !active(now)) return FaultKind::kNone;
+  if (rng_.uniform() < cfg_.meta) {
+    ++owner_->stats_.meta_errors;
+    return FaultKind::kMetaError;
+  }
+  return FaultKind::kNone;
+}
+
+Time FaultChannel::spike(Time now) {
+  if (cfg_.slow <= 0.0 || !active(now)) return 0;
+  if (rng_.uniform() < cfg_.slow) {
+    ++owner_->stats_.spikes;
+    owner_->stats_.spike_ns += cfg_.spike;
+    return cfg_.spike;
+  }
+  return 0;
+}
+
+util::Bytes FaultChannel::clamp_capacity(util::Bytes spec_capacity,
+                                         Time now) const {
+  if (cfg_.capacity == 0 || !active(now)) return spec_capacity;
+  return std::min(spec_capacity, cfg_.capacity);
+}
+
+void FaultChannel::note_retry() { ++owner_->stats_.retries; }
+
+void FaultChannel::note_exhausted() { ++owner_->stats_.exhausted; }
+
+void FaultChannel::note_capacity_enospc() { ++owner_->stats_.enospc_errors; }
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const auto& clause : split(spec, ';')) {
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos) {
+      // Bare clause: only "seed=N" lives outside a target.
+      const auto [key, value] = key_value(clause);
+      if (key != "seed") {
+        bad("expected 'seed=N' or '<fs>: fields', got '" + clause + "'");
+      }
+      plan.seed = uint_value(key, value);
+      continue;
+    }
+    const std::string head = trim(clause.substr(0, colon));
+    const std::string body = trim(clause.substr(colon + 1));
+    if (head.empty()) bad("clause missing target name: '" + clause + "'");
+    if (head == "retry") {
+      parse_retry_fields(body, &plan.retry);
+    } else {
+      TargetFaults t;
+      parse_target_fields(head, body, &t);
+      plan.targets.push_back(std::move(t));
+    }
+  }
+  if (!plan.enabled()) bad("no fault targets in '" + spec + "'");
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out = "seed=" + std::to_string(seed);
+  const RetryPolicy defaults;
+  if (retry.max_attempts != defaults.max_attempts ||
+      retry.backoff != defaults.backoff ||
+      retry.multiplier != defaults.multiplier ||
+      retry.max_backoff != defaults.max_backoff) {
+    out += "; retry: attempts=" + std::to_string(retry.max_attempts) +
+           ", backoff=" + fmt_time(retry.backoff) +
+           ", mult=" + fmt_prob(retry.multiplier) +
+           ", max=" + fmt_time(retry.max_backoff);
+  }
+  const TargetFaults dt;
+  for (const TargetFaults& t : targets) {
+    out += "; " + t.fs + ":";
+    std::string fields;
+    const auto field = [&fields](const std::string& kv) {
+      fields += (fields.empty() ? " " : ", ") + kv;
+    };
+    if (t.eio != dt.eio) field("eio=" + fmt_prob(t.eio));
+    if (t.enospc != dt.enospc) field("enospc=" + fmt_prob(t.enospc));
+    if (t.meta != dt.meta) field("meta=" + fmt_prob(t.meta));
+    if (t.slow != dt.slow) field("slow=" + fmt_prob(t.slow));
+    if (t.spike != dt.spike) field("spike=" + fmt_time(t.spike));
+    if (t.fail_latency != dt.fail_latency) {
+      field("fail_latency=" + fmt_time(t.fail_latency));
+    }
+    if (t.capacity != dt.capacity) {
+      field("capacity=" + std::to_string(t.capacity) + "B");
+    }
+    if (t.from != dt.from) field("from=" + fmt_time(t.from));
+    if (t.until != dt.until) field("until=" + fmt_time(t.until));
+    out += fields;
+  }
+  return out;
+}
+
+FaultChannel* FaultInjector::channel_for(const std::string& fs_name) {
+  // Exact-name target beats "*"; among equal specificity the last wins.
+  const TargetFaults* chosen = nullptr;
+  for (const TargetFaults& t : plan_.targets) {
+    if (t.fs == fs_name) {
+      chosen = &t;
+    } else if (t.fs == "*" && (chosen == nullptr || chosen->fs == "*")) {
+      chosen = &t;
+    }
+  }
+  if (chosen == nullptr) return nullptr;
+  channels_.emplace_back(*chosen, plan_.retry,
+                         util::Rng(plan_.seed).fork(fnv1a(fs_name)), this);
+  return &channels_.back();
+}
+
+}  // namespace wasp::sim

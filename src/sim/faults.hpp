@@ -1,0 +1,172 @@
+// Deterministic, seed-driven fault injection.
+//
+// A FaultPlan describes what can go wrong in a run: per-filesystem error
+// probabilities (transient EIO / ENOSPC on data ops, metadata errors),
+// latency spikes in the filesystem service path, and capacity clamps that
+// make a tier fill up early. The plan is pure data — it parses from and
+// formats back to a compact one-line spec so it can ride along in CLI
+// flags and the pattern YAML.
+//
+// Determinism: every decision is drawn from a SplitMix64 stream forked from
+// the plan seed per filesystem *name* (not creation order), and draws only
+// ever happen from engine-serialized coroutines, so the same seed always
+// yields the same fault schedule — traces and profiles stay byte-identical
+// across --jobs, backends, and reruns.
+//
+// Division of labor across layers:
+//   - io::* interface layers consult FaultChannel::data_fault/meta_fault
+//     *before* any inode/usage bookkeeping, so a failed attempt needs no
+//     rollback; they own the retry/backoff loop and trace each failed
+//     attempt as an extra op.
+//   - fs::* service paths consult FaultChannel::spike (degraded stripe /
+//     server semantics: the op completes, slower) and clamp_capacity in
+//     free_bytes (tier fills early; surfaces as retryable ENOSPC upstream).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace wasp::sim {
+
+enum class FaultKind : std::uint8_t { kNone, kEio, kEnospc, kMetaError };
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// Thrown when an injected (or capacity-induced) fault survives every
+/// retry attempt. Subclasses SimError so existing catch sites keep working.
+class FaultError : public util::SimError {
+ public:
+  FaultError(FaultKind kind, const std::string& msg)
+      : util::SimError(msg), kind_(kind) {}
+  FaultKind kind() const noexcept { return kind_; }
+
+ private:
+  FaultKind kind_;
+};
+
+/// How the interface layers respond to a transient failure: exponential
+/// backoff starting at `backoff`, multiplied per attempt, capped at
+/// `max_backoff`, giving up after `max_attempts` total attempts.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;
+  Time backoff = 1 * kMs;
+  double multiplier = 2.0;
+  Time max_backoff = 1 * kSec;
+
+  /// Backoff charged after failed attempt `attempt` (1-based).
+  Time delay_for(std::uint32_t attempt) const noexcept;
+};
+
+/// Fault configuration for one filesystem ("*" matches every mount).
+struct TargetFaults {
+  std::string fs = "*";
+  double eio = 0.0;     ///< per data-op transient-EIO probability
+  double enospc = 0.0;  ///< per write-op transient-ENOSPC probability
+  double meta = 0.0;    ///< per metadata-op transient-error probability
+  double slow = 0.0;    ///< per-request latency-spike probability
+  Time spike = 10 * kMs;       ///< spike magnitude added in the fs path
+  Time fail_latency = 1 * kMs; ///< virtual time a failed attempt consumes
+  util::Bytes capacity = 0;    ///< clamp the tier's capacity (0 = off)
+  Time from = 0;               ///< window start (virtual time)
+  Time until = 0;              ///< window end, exclusive (0 = no end)
+};
+
+class FaultInjector;
+
+/// Per-filesystem runtime state: merged target config + private rng stream.
+class FaultChannel {
+ public:
+  FaultChannel(const TargetFaults& cfg, const RetryPolicy& retry,
+               util::Rng rng, FaultInjector* owner)
+      : cfg_(cfg), retry_(retry), rng_(rng), owner_(owner) {}
+
+  /// Error draw for one data-op attempt (interface layer, pre-bookkeeping).
+  FaultKind data_fault(bool is_write, Time now);
+  /// Error draw for one metadata-op attempt.
+  FaultKind meta_fault(Time now);
+  /// Latency-spike draw for one request entering the fs service path.
+  Time spike(Time now);
+  /// Capacity with any active clamp applied (used by fs free_bytes).
+  util::Bytes clamp_capacity(util::Bytes spec_capacity, Time now) const;
+
+  Time fail_latency() const noexcept { return cfg_.fail_latency; }
+  const RetryPolicy& retry() const noexcept { return retry_; }
+
+  /// Stats hooks for the interface-layer retry loop.
+  void note_retry();
+  void note_exhausted();
+  /// Capacity exhaustion detected upstream (not an rng draw).
+  void note_capacity_enospc();
+
+ private:
+  bool active(Time now) const noexcept {
+    return now >= cfg_.from && (cfg_.until == 0 || now < cfg_.until);
+  }
+
+  TargetFaults cfg_;
+  RetryPolicy retry_;
+  util::Rng rng_;
+  FaultInjector* owner_;
+};
+
+/// The whole plan: seed, retry policy, and per-filesystem targets.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  RetryPolicy retry;
+  std::vector<TargetFaults> targets;
+
+  bool enabled() const noexcept { return !targets.empty(); }
+
+  /// Parse the compact spec grammar; throws util::SimError naming the
+  /// offending clause/token on malformed input. Clauses are ';'-separated:
+  ///   seed=7; retry: attempts=4, backoff=1ms, mult=2, max=1s;
+  ///   gpfs1: eio=0.01, slow=0.05, spike=10ms; shm: capacity=64MB
+  static FaultPlan parse(const std::string& spec);
+
+  /// Canonical spec string; parse(to_spec()) round-trips the plan and
+  /// to_spec() output is byte-stable (used by the pattern YAML).
+  std::string to_spec() const;
+};
+
+/// Owns the channels for one Simulation and the run's fault statistics.
+class FaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t io_errors = 0;      ///< injected transient EIO
+    std::uint64_t enospc_errors = 0;  ///< injected + capacity ENOSPC
+    std::uint64_t meta_errors = 0;    ///< injected metadata errors
+    std::uint64_t spikes = 0;         ///< latency spikes served
+    Time spike_ns = 0;                ///< total spike time added
+    std::uint64_t retries = 0;        ///< backoff-then-retry cycles
+    std::uint64_t exhausted = 0;      ///< ops that failed every attempt
+    std::uint64_t total_injected() const noexcept {
+      return io_errors + enospc_errors + meta_errors;
+    }
+  };
+
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Channel for filesystem `fs_name`, created on first use; nullptr when
+  /// no target matches. An exact-name target beats "*"; among targets of
+  /// equal specificity the last one wins.
+  FaultChannel* channel_for(const std::string& fs_name);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class FaultChannel;
+
+  FaultPlan plan_;
+  std::deque<FaultChannel> channels_;  ///< deque: stable addresses
+  Stats stats_;
+};
+
+}  // namespace wasp::sim

@@ -1,7 +1,9 @@
 #include "trace/log_io.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <unordered_map>
 #include <ostream>
@@ -14,28 +16,80 @@ namespace {
 
 constexpr char kMagic[8] = {'W', 'A', 'S', 'P', 'T', 'R', 'C', '2'};
 
-void put_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+/// Delete a half-written output file so a disk-full run never leaves a
+/// truncated log behind. Only regular files and symlinks are touched
+/// (tests point outputs at /dev/full; never unlink a device node).
+void remove_partial_output(const std::string& path) {
+  std::error_code ec;
+  const auto st = std::filesystem::symlink_status(path, ec);
+  if (!ec && (std::filesystem::is_regular_file(st) ||
+              std::filesystem::is_symlink(st))) {
+    std::filesystem::remove(path, ec);
+  }
 }
 
-std::uint64_t get_u64(std::istream& is) {
+/// Write-site failure detection: every write is checked so a short write
+/// (disk full) is diagnosed here — with path, byte counts, and errno —
+/// instead of surfacing as a confusing truncated-log error at read time.
+class CheckedWriter {
+ public:
+  CheckedWriter(std::ostream& os, const std::string& path)
+      : os_(os), path_(path) {}
+
+  void write(const void* data, std::size_t n) {
+    errno = 0;
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    if (!os_.good()) fail();
+    written_ += n;
+  }
+
+  void put_u64(std::uint64_t v) { write(&v, sizeof(v)); }
+
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    write(s.data(), s.size());
+  }
+
+  void finish() {
+    errno = 0;
+    os_.flush();
+    if (!os_.good()) fail();
+  }
+
+  std::uint64_t written() const noexcept { return written_; }
+
+ private:
+  [[noreturn]] void fail() {
+    const int err = errno;
+    remove_partial_output(path_);
+    throw util::SimError(
+        "short write to trace log: " + path_ + ": failed after " +
+        std::to_string(written_) + " bytes (" +
+        (err != 0 ? std::strerror(err) : "no errno") + ")");
+  }
+
+  std::ostream& os_;
+  const std::string& path_;
+  std::uint64_t written_ = 0;
+};
+
+std::uint64_t get_u64(std::istream& is, const std::string& path) {
   std::uint64_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  WASP_CHECK_MSG(is.good(), "truncated trace log");
+  WASP_CHECK_MSG(is.good(), "truncated trace log: " + path +
+                                " (short read in header)");
   return v;
 }
 
-void put_string(std::ostream& os, const std::string& s) {
-  put_u64(os, s.size());
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string get_string(std::istream& is) {
-  const std::uint64_t n = get_u64(is);
-  WASP_CHECK_MSG(n < (1u << 20), "implausible string length in trace log");
+std::string get_string(std::istream& is, const std::string& path) {
+  const std::uint64_t n = get_u64(is, path);
+  WASP_CHECK_MSG(n < (1u << 20),
+                 "implausible string length in trace log: " + path);
   std::string s(n, '\0');
   is.read(s.data(), static_cast<std::streamsize>(n));
-  WASP_CHECK_MSG(is.good(), "truncated trace log");
+  WASP_CHECK_MSG(is.good(), "truncated trace log: " + path +
+                                " (short read in header)");
   return s;
 }
 
@@ -59,7 +113,11 @@ struct Row {
 
 Row to_row(const Record& r, std::uint32_t path_idx,
            std::uint64_t file_size) {
+  // memset, not just member init: the struct has padding holes (after app,
+  // count, path_idx) and every byte lands on disk — uninitialized padding
+  // made "identical" runs produce different log bytes.
   Row row;
+  std::memset(&row, 0, sizeof(row));
   row.app = r.app;
   row.rank = r.rank;
   row.node = r.node;
@@ -142,23 +200,24 @@ void write_log(const std::string& filename, const Tracer& tracer) {
     }
   }
 
-  os.write(kMagic, sizeof(kMagic));
-  put_u64(os, data.apps.size());
-  for (const auto& a : data.apps) put_string(os, a);
-  put_u64(os, data.fs_names.size());
+  CheckedWriter w(os, filename);
+  w.write(kMagic, sizeof(kMagic));
+  w.put_u64(data.apps.size());
+  for (const auto& a : data.apps) w.put_string(a);
+  w.put_u64(data.fs_names.size());
   for (std::size_t f = 0; f < data.fs_names.size(); ++f) {
-    put_string(os, data.fs_names[f]);
-    put_u64(os, data.fs_shared[f] ? 1 : 0);
+    w.put_string(data.fs_names[f]);
+    w.put_u64(data.fs_shared[f] ? 1 : 0);
   }
-  put_u64(os, path_table.size());
-  for (const auto& p : path_table) put_string(os, p);
-  put_u64(os, data.records.size());
+  w.put_u64(path_table.size());
+  for (const auto& p : path_table) w.put_string(p);
+  w.put_u64(data.records.size());
   for (std::size_t i = 0; i < data.records.size(); ++i) {
     const Row row = to_row(data.records[i], path_idx[i],
                            data.file_sizes[i]);
-    os.write(reinterpret_cast<const char*>(&row), sizeof(row));
+    w.write(&row, sizeof(row));
   }
-  WASP_CHECK_MSG(os.good(), "short write to trace log: " + filename);
+  w.finish();
 }
 
 LogReader::LogReader(const std::string& filename)
@@ -169,20 +228,20 @@ LogReader::LogReader(const std::string& filename)
   WASP_CHECK_MSG(is_.good() && std::memcmp(magic, kMagic, 8) == 0,
                  "not a WASP trace log: " + filename);
 
-  const std::uint64_t napps = get_u64(is_);
+  const std::uint64_t napps = get_u64(is_, filename);
   for (std::uint64_t i = 0; i < napps; ++i) {
-    header_.apps.push_back(get_string(is_));
+    header_.apps.push_back(get_string(is_, filename));
   }
-  const std::uint64_t nfs = get_u64(is_);
+  const std::uint64_t nfs = get_u64(is_, filename);
   for (std::uint64_t i = 0; i < nfs; ++i) {
-    header_.fs_names.push_back(get_string(is_));
-    header_.fs_shared.push_back(get_u64(is_) != 0);
+    header_.fs_names.push_back(get_string(is_, filename));
+    header_.fs_shared.push_back(get_u64(is_, filename) != 0);
   }
-  const std::uint64_t npaths = get_u64(is_);
+  const std::uint64_t npaths = get_u64(is_, filename);
   for (std::uint64_t i = 0; i < npaths; ++i) {
-    header_.path_table.push_back(get_string(is_));
+    header_.path_table.push_back(get_string(is_, filename));
   }
-  header_.num_records = get_u64(is_);
+  header_.num_records = get_u64(is_, filename);
 
   // Validate the declared count against what the file actually holds, so a
   // truncated or corrupt header fails here instead of driving a huge
@@ -210,10 +269,13 @@ std::size_t LogReader::next_chunk(std::size_t max_rows,
   for (std::size_t i = 0; i < n; ++i) {
     Row row;
     is_.read(reinterpret_cast<char*>(&row), sizeof(row));
-    WASP_CHECK_MSG(is_.good(), "truncated trace log: " + filename_);
+    WASP_CHECK_MSG(is_.good(),
+                   "truncated trace log: " + filename_ + " (short read at record " +
+                       std::to_string(header_.num_records - remaining_ + i) +
+                       " of " + std::to_string(header_.num_records) + ")");
     WASP_CHECK_MSG(
         row.path_idx < header_.path_table.size() || header_.path_table.empty(),
-        "bad path index in trace log");
+        "bad path index in trace log: " + filename_);
     records.push_back(from_row(row));
     path_idx.push_back(row.path_idx);
     file_sizes.push_back(row.file_size);

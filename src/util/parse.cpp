@@ -1,7 +1,9 @@
 #include "util/parse.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 namespace wasp::util {
 namespace {
@@ -100,6 +102,54 @@ std::optional<std::pair<std::uint64_t, std::uint64_t>> parse_fpp_shared(
   } catch (...) {
     return std::nullopt;
   }
+}
+
+std::optional<long long> parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<unsigned long long> parse_uint(const std::string& text) {
+  if (text.empty() || text.front() == '-') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void bad_cli_value(const std::string& flag,
+                                const std::string& text, void (*usage)()) {
+  std::cerr << "bad value for " << flag << ": '" << text
+            << "' (expected an integer)\n";
+  if (usage != nullptr) usage();
+  std::exit(2);
+}
+
+}  // namespace
+
+long long cli_int(const std::string& flag, const std::string& text,
+                  void (*usage)()) {
+  const auto v = parse_int(text);
+  if (!v) bad_cli_value(flag, text, usage);
+  return *v;
+}
+
+unsigned long long cli_uint(const std::string& flag, const std::string& text,
+                            void (*usage)()) {
+  const auto v = parse_uint(text);
+  if (!v) bad_cli_value(flag, text, usage);
+  return *v;
 }
 
 }  // namespace wasp::util

@@ -29,4 +29,18 @@ std::optional<double> parse_ops_dist(const std::string& text);
 std::optional<std::pair<std::uint64_t, std::uint64_t>> parse_fpp_shared(
     const std::string& text);
 
+/// Strict base-10 integer parse: the whole string must be a number
+/// (optional leading '-'), no trailing junk, no overflow. Unlike std::stoi
+/// these never throw — CLIs use them to reject "--jobs banana" gracefully.
+std::optional<long long> parse_int(const std::string& text);
+std::optional<unsigned long long> parse_uint(const std::string& text);
+
+/// Checked CLI numeric parse: on malformed input prints
+/// "bad value for <flag>: '<text>' (expected an integer)" to stderr,
+/// invokes `usage` when given, and exits 2.
+long long cli_int(const std::string& flag, const std::string& text,
+                  void (*usage)() = nullptr);
+unsigned long long cli_uint(const std::string& flag, const std::string& text,
+                            void (*usage)() = nullptr);
+
 }  // namespace wasp::util

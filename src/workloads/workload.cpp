@@ -18,6 +18,11 @@ void execute(runtime::Simulation& sim, const Workload& workload,
     sim.tracer().set_enabled(true);
     sim.pfs().drop_client_caches();
   }
+  // Faults start with the traced job, never during setup staging. Patterns
+  // may also carry a plan; the RunConfig's wins (replay() checks faults()).
+  if (cfg.faults.enabled() && sim.faults() == nullptr) {
+    sim.install_faults(cfg.faults);
+  }
   workload.launch(sim, cfg);
   sim.engine().run();
   WASP_CHECK_MSG(sim.engine().all_roots_done(),

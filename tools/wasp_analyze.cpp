@@ -25,6 +25,7 @@
 #include "telemetry_cli.hpp"
 #include "trace/log_io.hpp"
 #include "util/parallel.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace wasp;
@@ -153,17 +154,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-compress") {
       compress = false;
     } else if (arg == "--files" && i + 1 < argc) {
-      show_files = static_cast<std::size_t>(std::stoul(argv[++i]));
+      show_files = static_cast<std::size_t>(util::cli_uint(arg, argv[++i]));
     } else if (arg == "--jobs" && i + 1 < argc) {
-      util::set_default_jobs(std::stoi(argv[++i]));
+      util::set_default_jobs(static_cast<int>(util::cli_int(arg, argv[++i])));
     } else if (arg == "--backend" && i + 1 < argc) {
       backend = argv[++i];
     } else if (arg == "--spill-dir" && i + 1 < argc) {
       spill_dir = argv[++i];
     } else if (arg == "--chunk-rows" && i + 1 < argc) {
-      chunk_rows = static_cast<std::size_t>(std::stoul(argv[++i]));
+      chunk_rows = static_cast<std::size_t>(util::cli_uint(arg, argv[++i]));
     } else if (arg == "--max-resident-chunks" && i + 1 < argc) {
-      max_resident = static_cast<std::size_t>(std::stoul(argv[++i]));
+      max_resident = static_cast<std::size_t>(util::cli_uint(arg, argv[++i]));
     } else if (arg == "--telemetry" && i + 1 < argc) {
       telemetry_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {

@@ -18,6 +18,7 @@
 
 #include "advisor/pattern_rewrites.hpp"
 #include "pattern/replayer.hpp"
+#include "sim/faults.hpp"
 #include "util/error.hpp"
 #include "util/parse.hpp"
 #include "workloads/registry.hpp"
@@ -33,6 +34,8 @@ void usage() {
          "  common options:\n"
          "    --test-scale       use the reduced test-scale parameters\n"
          "    --nodes N          cluster size (default 32)\n"
+         "    --faults SPEC      deterministic fault schedule for the\n"
+         "                       replay (also serialized by dump)\n"
          "    --out FILE         write the pattern YAML here (dump/whatif)\n"
          "    --yaml FILE        write the characterization YAML here\n"
          "  whatif rewrites (applied in order given):\n"
@@ -59,11 +62,8 @@ void usage() {
 util::Bytes bytes_arg(const std::string& text) {
   // Accept both plain byte counts and the tables' "16MB" format.
   if (auto b = util::parse_bytes(text)) return *b;
-  try {
-    return static_cast<util::Bytes>(std::stoull(text));
-  } catch (...) {
-    die("bad size: " + text);
-  }
+  if (auto n = util::parse_uint(text)) return static_cast<util::Bytes>(*n);
+  die("bad size: " + text);
 }
 
 struct PatternSource {
@@ -161,6 +161,7 @@ int main(int argc, char** argv) {
   bool dump_only = false;
   std::string out_file;
   std::string yaml_file;
+  sim::FaultPlan faults;
   // Rewrites are queued and applied in command-line order.
   std::vector<std::function<void(pattern::JobPattern&)>> rewrites;
 
@@ -171,7 +172,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--nodes") {
-      nodes = std::stoi(next());
+      nodes = static_cast<int>(util::cli_int(arg, next(), &usage));
+    } else if (arg == "--faults") {
+      try {
+        faults = sim::FaultPlan::parse(next());
+      } catch (const util::SimError& e) {
+        die(e.what());
+      }
     } else if (arg == "--test-scale") {
       test_scale = true;
     } else if (arg == "--out") {
@@ -242,6 +249,9 @@ int main(int argc, char** argv) {
       const auto entry = frame_entry(src, &pat);
       frame = test_scale ? entry.make_test() : entry.make_paper();
     }
+    // --faults overrides any plan the pattern already carries; dump then
+    // serializes it, and replay installs it (replay() honors pat.faults).
+    if (faults.enabled()) pat.faults = faults;
 
     if (command == "dump") {
       emit(pattern::to_yaml(pat), out_file, "pattern");

@@ -3,17 +3,20 @@
 //
 //   wasp_run <workload> [--nodes N] [--optimized] [--trace out.wtrc]
 //            [--yaml out.yaml] [--csv out.csv] [--test-scale] [--jobs N]
-//            [--telemetry out.json] [--trace-out out.trace.json]
+//            [--faults SPEC] [--telemetry out.json] [--trace-out out.trace.json]
 //
 // <workload> is a registry id; `wasp_run --list` prints them all.
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 
 #include "advisor/rules.hpp"
+#include "sim/faults.hpp"
 #include "telemetry_cli.hpp"
 #include "trace/log_io.hpp"
 #include "util/parallel.hpp"
+#include "util/parse.hpp"
 #include "workloads/registry.hpp"
 
 using namespace wasp;
@@ -39,15 +42,43 @@ void usage() {
          "  --yaml FILE     write the characterization YAML"
          " (default: stdout)\n"
          "  --jobs N        worker threads for the analysis pipeline\n"
+         "  --faults SPEC   deterministic fault schedule, e.g.\n"
+         "                  'seed=7; pfs: eio=0.01, slow=0.05, spike=20ms'\n"
          "  --telemetry F   write the metrics-registry snapshot JSON\n"
          "  --trace-out F   write pipeline spans as Chrome trace-event"
          " JSON\n";
   list_workloads(std::cerr);
 }
 
-}  // namespace
+/// Checked file sink for --yaml/--csv: a full disk or bad path is diagnosed
+/// here instead of silently producing an empty or truncated file.
+void write_file_or_die(const std::string& path, const std::string& what,
+                       const std::function<void(std::ostream&)>& emit) {
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::cerr << "wasp_run: cannot open " << what << " for write: " << path
+              << "\n";
+    std::exit(1);
+  }
+  emit(os);
+  os.flush();
+  if (!os.good()) {
+    std::cerr << "wasp_run: short write to " << what << ": " << path << "\n";
+    std::exit(1);
+  }
+}
 
-int main(int argc, char** argv) {
+void print_fault_stats(const sim::FaultInjector& inj) {
+  const auto& st = inj.stats();
+  std::cerr << "faults: " << st.io_errors << " EIO, " << st.enospc_errors
+            << " ENOSPC, " << st.meta_errors << " metadata errors, "
+            << st.spikes << " latency spikes ("
+            << util::format_seconds(static_cast<double>(st.spike_ns) / 1e9)
+            << "), " << st.retries << " retries, " << st.exhausted
+            << " ops exhausted retry budget\n";
+}
+
+int run_main(int argc, char** argv) {
   if (argc < 2) {
     usage();
     return 2;
@@ -72,6 +103,7 @@ int main(int argc, char** argv) {
   std::string yaml_out;
   std::string telemetry_out;
   std::string spans_out;
+  advisor::RunConfig cfg;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -82,7 +114,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--nodes") {
-      nodes = std::stoi(next());
+      nodes = static_cast<int>(util::cli_int(arg, next(), &usage));
     } else if (arg == "--optimized") {
       optimized = true;
     } else if (arg == "--test-scale") {
@@ -94,7 +126,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--yaml") {
       yaml_out = next();
     } else if (arg == "--jobs") {
-      util::set_default_jobs(std::stoi(next()));
+      util::set_default_jobs(static_cast<int>(util::cli_int(arg, next(),
+                                                            &usage)));
+    } else if (arg == "--faults") {
+      const std::string spec = next();
+      try {
+        cfg.faults = sim::FaultPlan::parse(spec);
+      } catch (const util::SimError& e) {
+        std::cerr << "wasp_run: " << e.what() << "\n";
+        usage();
+        return 2;
+      }
     } else if (arg == "--telemetry") {
       telemetry_out = next();
     } else if (arg == "--trace-out") {
@@ -112,17 +154,23 @@ int main(int argc, char** argv) {
 
   std::cerr << "running " << entry.name << " on " << nodes << " nodes...\n";
   runtime::Simulation sim(cluster::lassen(nodes));
-  auto out = workloads::run_with(sim, workload, advisor::RunConfig{},
+  auto out = workloads::run_with(sim, workload, cfg,
                                  analysis::Analyzer::Options{});
+  if (sim.faults() != nullptr) print_fault_stats(*sim.faults());
 
   if (optimized) {
     std::cerr << "advisor:\n"
               << advisor::RuleEngine::report(out.recommendations);
-    auto cfg = advisor::RuleEngine::configure(out.recommendations);
+    auto opt_cfg = advisor::RuleEngine::configure(out.recommendations);
+    // The advisor never tunes the fault schedule: the optimized re-run must
+    // face the same faults the baseline did, or the comparison is apples
+    // to oranges.
+    opt_cfg.faults = cfg.faults;
     std::cerr << "re-running optimized...\n";
     runtime::Simulation sim2(cluster::lassen(nodes));
-    auto opt = workloads::run_with(sim2, workload, cfg,
+    auto opt = workloads::run_with(sim2, workload, opt_cfg,
                                    analysis::Analyzer::Options{});
+    if (sim2.faults() != nullptr) print_fault_stats(*sim2.faults());
     std::cerr << "baseline  I/O time: "
               << util::format_seconds(out.profile.io_time_fraction *
                                       out.job_seconds)
@@ -132,15 +180,17 @@ int main(int argc, char** argv) {
               << "\n";
     if (!trace_out.empty()) trace::write_log(trace_out, sim2.tracer());
     if (!csv_out.empty()) {
-      std::ofstream os(csv_out);
-      trace::write_csv(os, sim2.tracer());
+      write_file_or_die(csv_out, "CSV trace", [&](std::ostream& os) {
+        trace::write_csv(os, sim2.tracer());
+      });
     }
     out = std::move(opt);
   } else {
     if (!trace_out.empty()) trace::write_log(trace_out, sim.tracer());
     if (!csv_out.empty()) {
-      std::ofstream os(csv_out);
-      trace::write_csv(os, sim.tracer());
+      write_file_or_die(csv_out, "CSV trace", [&](std::ostream& os) {
+        trace::write_csv(os, sim.tracer());
+      });
     }
   }
 
@@ -152,10 +202,21 @@ int main(int argc, char** argv) {
   if (yaml_out.empty()) {
     std::cout << yaml;
   } else {
-    std::ofstream os(yaml_out);
-    os << yaml;
+    write_file_or_die(yaml_out, "characterization YAML",
+                      [&](std::ostream& os) { os << yaml; });
     std::cerr << "characterization written to " << yaml_out << "\n";
   }
   toolcli::write_telemetry(telemetry_out, spans_out);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const util::SimError& e) {
+    std::cerr << "wasp_run: " << e.what() << "\n";
+    return 1;
+  }
 }
