@@ -10,12 +10,19 @@
 // finishes in seconds anywhere; --scale paper runs the full Table I scale.
 // --backend spill routes every pipeline and sweep through the spill-to-disk
 // trace store (bounded-memory analysis); each BENCH_results.json entry
-// records which backend produced it. Every workload entry carries an "io"
-// block (the store's IoStats — cache/prefetch behavior, compressed vs raw
-// chunk bytes; zeroed with "present": false for the memory backend) and a
-// "telemetry" block (registry deltas: engine events, analyzer pass time,
-// pool queue-wait). --no-compress writes raw WSPCHK01 chunk files instead
-// of the compressed WSPCHK02 format.
+// records which backend produced it.
+//
+// Output schema "wasp-bench-results-v3": the document records provenance
+// (git_sha, ISO-8601 timestamp) next to jobs/hardware_threads, and every
+// entry carries wall_seconds, a fixed-key "telemetry" block (engine
+// events, analyzer pass time, pool queue-wait), and a "metrics" embed —
+// the same counters/gauges/histograms sections a RunManifest holds,
+// restricted to this entry's registry delta. Spill-backend entries add an
+// "io" block (cache/prefetch behavior, compressed vs raw chunk bytes);
+// memory-backend entries omit it, and readers treat the absent block as
+// "no spill io" (v2 emitted it zeroed with "present": false — wasp_report
+// reads both). --no-compress writes raw WSPCHK01 chunk files instead of
+// the compressed WSPCHK02 format.
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -48,6 +55,7 @@ struct WorkloadMetrics {
   std::string backend = "memory";
   double sim_seconds = 0.0;
   double analyze_seconds = 0.0;
+  double wall_seconds = 0.0;  ///< whole entry, setup through analyze
   std::uint64_t engine_events = 0;
   std::uint64_t trace_rows = 0;
   double events_per_sec = 0.0;
@@ -63,6 +71,7 @@ struct SweepMetrics {
   std::size_t scenarios = 0;
   double jobs1_seconds = 0.0;
   double jobsN_seconds = 0.0;
+  double wall_seconds = 0.0;  ///< both runs end to end
   double speedup = 0.0;
   obs::Snapshot telemetry;  // registry delta over both runs
 };
@@ -77,6 +86,7 @@ WorkloadMetrics measure_workload(const std::string& name,
                                  const runtime::SpillPolicy* policy) {
   WorkloadMetrics m;
   m.name = name;
+  const auto entry_t0 = Clock::now();
   const obs::Snapshot before = obs::Registry::instance().snapshot();
   runtime::Simulation sim(spec);
 
@@ -132,6 +142,7 @@ WorkloadMetrics measure_workload(const std::string& name,
         static_cast<double>(m.trace_rows) / m.analyze_seconds;
   }
   m.telemetry = obs::Registry::instance().snapshot().delta(before);
+  m.wall_seconds = elapsed_sec(entry_t0);
   return m;
 }
 
@@ -205,6 +216,7 @@ SweepMetrics measure_sweep(const std::string& name,
   SweepMetrics m;
   m.name = name;
   m.scenarios = scenarios.size();
+  const auto entry_t0 = Clock::now();
   const obs::Snapshot before = obs::Registry::instance().snapshot();
   runtime::ScenarioRunner runner1(1);
   runtime::ScenarioRunner runnerN(jobs);
@@ -223,6 +235,7 @@ SweepMetrics measure_sweep(const std::string& name,
   m.jobsN_seconds = elapsed_sec(t0);
   m.speedup = m.jobsN_seconds > 0 ? m.jobs1_seconds / m.jobsN_seconds : 0.0;
   m.telemetry = obs::Registry::instance().snapshot().delta(before);
+  m.wall_seconds = elapsed_sec(entry_t0);
   return m;
 }
 
@@ -321,8 +334,10 @@ int main(int argc, char** argv) {
 
   std::ofstream os(out_path);
   os << "{\n";
-  os << "  \"schema\": \"wasp-bench-results-v2\",\n";
+  os << "  \"schema\": \"wasp-bench-results-v3\",\n";
   os << "  \"scale\": \"" << (paper_scale ? "paper" : "test") << "\",\n";
+  os << "  \"git_sha\": \"" << obs::current_git_sha() << "\",\n";
+  os << "  \"timestamp\": \"" << obs::iso8601_utc_now() << "\",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"hardware_threads\": "
      << std::thread::hardware_concurrency() << ",\n";
@@ -333,17 +348,15 @@ int main(int argc, char** argv) {
        << "\"backend\": \"" << m.backend << "\", "
        << "\"sim_seconds\": " << json_num(m.sim_seconds) << ", "
        << "\"analyze_seconds\": " << json_num(m.analyze_seconds) << ", "
+       << "\"wall_seconds\": " << json_num(m.wall_seconds) << ", "
        << "\"engine_events\": " << m.engine_events << ", "
        << "\"trace_rows\": " << m.trace_rows << ", "
        << "\"events_per_sec\": " << json_num(m.events_per_sec) << ", "
        << "\"analyzer_rows_per_sec\": " << json_num(m.analyzer_rows_per_sec);
-    // The io block is emitted for every entry — "present" distinguishes
-    // real spill-backend stats from the memory backend's zeros, so the
-    // schema is identical across backends.
-    {
+    // v3: the io block only exists where there is spill io to report;
+    // memory-backend entries simply have no "io" key.
+    if (m.backend == "spill") {
       os << ", \"io\": {"
-         << "\"present\": " << (m.backend == "spill" ? "true" : "false")
-         << ", "
          << "\"compress\": " << (m.compress ? "true" : "false") << ", "
          << "\"chunk_loads\": " << m.io.chunk_loads << ", "
          << "\"cache_hits\": " << m.io.cache_hits << ", "
@@ -361,6 +374,11 @@ int main(int argc, char** argv) {
     }
     os << ", ";
     write_telemetry_block(os, m.telemetry);
+    // The manifest-style rollup of this entry's registry delta: the same
+    // counters/gauges/histograms sections a RunManifest carries.
+    os << ", \"metrics\": {\n";
+    obs::write_metric_sections(os, m.telemetry, "      ");
+    os << "}";
     os << "}" << (i + 1 < workload_metrics.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
@@ -372,6 +390,7 @@ int main(int argc, char** argv) {
        << "\"scenarios\": " << m.scenarios << ", "
        << "\"jobs1_seconds\": " << json_num(m.jobs1_seconds) << ", "
        << "\"jobsN_seconds\": " << json_num(m.jobsN_seconds) << ", "
+       << "\"wall_seconds\": " << json_num(m.wall_seconds) << ", "
        << "\"speedup\": " << json_num(m.speedup) << ", ";
     write_telemetry_block(os, m.telemetry);
     os << "}" << (i + 1 < sweep_metrics.size() ? "," : "") << "\n";

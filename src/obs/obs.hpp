@@ -12,5 +12,6 @@
 // See DESIGN.md §9 for the model and the overhead budget.
 #pragma once
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"

@@ -1,0 +1,394 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "util/json.hpp"
+
+namespace wasp::obs::report {
+
+namespace {
+
+using util::json::Value;
+
+[[noreturn]] void bad(const std::string& path, const std::string& what) {
+  throw util::SimError(path + ": " + what);
+}
+
+const Value& require(const std::string& path, const Value& v,
+                     const std::string& key, Value::Type type,
+                     const char* what) {
+  const Value* m = v.get(key);
+  if (m == nullptr || m->type != type) {
+    bad(path, std::string("missing or mistyped \"") + key + "\" (" + what +
+                  ")");
+  }
+  return *m;
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+ManifestView load_manifest(const std::string& path) {
+  Value root;
+  try {
+    root = util::json::parse_file(path);
+  } catch (const std::exception& e) {
+    throw util::SimError(std::string("manifest: ") + e.what());
+  }
+  if (!root.is_object()) bad(path, "root is not an object");
+  const std::string schema = root.str_or("schema", "");
+  if (schema != RunManifest::kSchema) {
+    bad(path, schema.empty()
+                  ? std::string("not a run manifest (no \"schema\" field)")
+                  : "unsupported schema \"" + schema + "\" (want " +
+                        RunManifest::kSchema + ")");
+  }
+
+  ManifestView m;
+  m.path = path;
+  m.tool = root.str_or("tool", "");
+  m.git_sha = root.str_or("git_sha", "unknown");
+  m.timestamp = root.str_or("timestamp", "");
+  m.backend = root.str_or("backend", "memory");
+  m.jobs = static_cast<int>(root.num_or("jobs", 1));
+  m.hardware_threads =
+      static_cast<unsigned>(root.num_or("hardware_threads", 0));
+  m.wall_seconds = root.num_or("wall_seconds", 0.0);
+  m.metrics.emplace("wall_seconds", m.wall_seconds);
+
+  const Value& counters =
+      require(path, root, "counters", Value::Type::kObject, "counter map");
+  for (const auto& [name, v] : counters.obj) {
+    if (!v.is_number()) bad(path, "counter \"" + name + "\" is not numeric");
+    m.metrics.emplace(name, v.number);
+  }
+  if (const Value* gauges = root.get("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, v] : gauges->obj) {
+      if (v.is_number()) m.metrics.emplace(name, v.number);
+    }
+  }
+  const Value& hists = require(path, root, "histograms",
+                               Value::Type::kObject, "histogram map");
+  for (const auto& [name, v] : hists.obj) {
+    if (!v.is_object()) {
+      bad(path, "histogram \"" + name + "\" is not an object");
+    }
+    m.metrics.emplace(name + ".count", v.num_or("count", 0));
+    m.metrics.emplace(name + ".sum", v.num_or("sum", 0));
+  }
+
+  const Value& spans =
+      require(path, root, "spans", Value::Type::kArray, "span table");
+  for (const Value& s : spans.arr) {
+    if (!s.is_object() || s.get("name") == nullptr ||
+        !s.get("name")->is_string()) {
+      bad(path, "span entry without a string \"name\"");
+    }
+    SpanAgg agg;
+    agg.name = s.get("name")->str;
+    agg.count = s.u64_or("count", 0);
+    agg.total_ns = s.u64_or("total_ns", 0);
+    agg.self_ns = s.u64_or("self_ns", 0);
+    m.metrics.emplace("span." + agg.name + ".count",
+                      static_cast<double>(agg.count));
+    m.metrics.emplace("span." + agg.name + ".total_ns",
+                      static_cast<double>(agg.total_ns));
+    m.metrics.emplace("span." + agg.name + ".self_ns",
+                      static_cast<double>(agg.self_ns));
+    m.spans.push_back(std::move(agg));
+  }
+  return m;
+}
+
+std::vector<SpanAgg> aggregate_chrome_trace(const std::string& path) {
+  Value root;
+  try {
+    root = util::json::parse_file(path);
+  } catch (const std::exception& e) {
+    throw util::SimError(std::string("trace: ") + e.what());
+  }
+  const Value* events =
+      root.is_object() ? root.get("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array()) {
+    bad(path, "not a Chrome trace (no traceEvents array)");
+  }
+
+  struct Open {
+    std::string name;
+    double t0_us;
+    double child_us = 0.0;
+  };
+  std::map<std::pair<long long, long long>, std::vector<Open>> stacks;
+  std::map<std::string, SpanAgg> by_name;
+  for (const Value& e : events->arr) {
+    if (!e.is_object()) continue;
+    const std::string ph = e.str_or("ph", "");
+    if (ph != "B" && ph != "E") continue;
+    const Value* name = e.get("name");
+    const Value* ts = e.get("ts");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number()) {
+      continue;
+    }
+    auto& stack = stacks[{static_cast<long long>(e.num_or("pid", 0)),
+                          static_cast<long long>(e.num_or("tid", 0))}];
+    if (ph == "B") {
+      stack.push_back({name->str, ts->number});
+      continue;
+    }
+    if (stack.empty() || stack.back().name != name->str) continue;
+    const Open top = stack.back();
+    stack.pop_back();
+    const double dur_us = ts->number - top.t0_us;
+    SpanAgg& agg = by_name[top.name];
+    agg.count += 1;
+    agg.total_ns += static_cast<std::uint64_t>(std::llround(dur_us * 1e3));
+    const double self_us = std::max(0.0, dur_us - top.child_us);
+    agg.self_ns += static_cast<std::uint64_t>(std::llround(self_us * 1e3));
+    if (!stack.empty()) stack.back().child_us += dur_us;
+  }
+  std::vector<SpanAgg> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) {
+    agg.name = name;
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+std::vector<MetricDelta> diff_manifests(const ManifestView& a,
+                                        const ManifestView& b,
+                                        const DiffOptions& opts) {
+  std::set<std::string> names;
+  for (const auto& [n, v] : a.metrics) names.insert(n);
+  for (const auto& [n, v] : b.metrics) names.insert(n);
+
+  auto tolerance_for = [&](const std::string& name) {
+    double tol = opts.tolerance;
+    std::size_t best = 0;
+    for (const auto& [prefix, t] : opts.overrides) {
+      if (name.rfind(prefix, 0) == 0 && prefix.size() >= best) {
+        best = prefix.size();
+        tol = t;
+      }
+    }
+    return tol;
+  };
+
+  std::vector<MetricDelta> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    MetricDelta d;
+    d.name = name;
+    const auto ia = a.metrics.find(name);
+    const auto ib = b.metrics.find(name);
+    d.a = ia != a.metrics.end() ? ia->second : 0.0;
+    d.b = ib != b.metrics.end() ? ib->second : 0.0;
+    d.rel = d.a == d.b ? 0.0
+            : d.a == 0.0 ? 1.0
+                         : (d.b - d.a) / std::abs(d.a);
+    d.deterministic = deterministic_metric(name);
+    if (d.deterministic) {
+      d.tolerance = 0.0;
+      d.breach = d.a != d.b;
+    } else {
+      d.tolerance = tolerance_for(name);
+      d.breach = d.tolerance >= 0.0 && std::abs(d.rel) > d.tolerance;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+// --- BENCH_results.json ---------------------------------------------------
+
+BenchResults load_bench_results(const std::string& path) {
+  Value root;
+  try {
+    root = util::json::parse_file(path);
+  } catch (const std::exception& e) {
+    throw util::SimError(std::string("bench results: ") + e.what());
+  }
+  if (!root.is_object()) bad(path, "root is not an object");
+  const std::string schema = root.str_or("schema", "");
+  BenchResults r;
+  if (schema == "wasp-bench-results-v2") {
+    r.version = 2;
+  } else if (schema == "wasp-bench-results-v3") {
+    r.version = 3;
+  } else {
+    bad(path, schema.empty()
+                  ? std::string("no \"schema\" field")
+                  : "unsupported schema \"" + schema +
+                        "\" (want wasp-bench-results-v2 or -v3)");
+  }
+  r.scale = root.str_or("scale", "");
+  r.git_sha = root.str_or("git_sha", "unknown");
+  r.timestamp = root.str_or("timestamp", "");
+  r.jobs = static_cast<int>(root.num_or("jobs", 0));
+
+  const Value& workloads = require(path, root, "workloads",
+                                   Value::Type::kArray, "workload entries");
+  for (const Value& w : workloads.arr) {
+    if (!w.is_object()) bad(path, "workload entry is not an object");
+    BenchEntry e;
+    e.name = w.str_or("name", "");
+    if (e.name.empty()) bad(path, "workload entry without a \"name\"");
+    e.backend = w.str_or("backend", "memory");
+    e.engine_events = w.u64_or("engine_events", 0);
+    e.trace_rows = w.u64_or("trace_rows", 0);
+    e.events_per_sec = w.num_or("events_per_sec", 0.0);
+    e.analyzer_rows_per_sec = w.num_or("analyzer_rows_per_sec", 0.0);
+    e.wall_seconds = w.num_or("wall_seconds", 0.0);
+    // v2 always carries an io block with a "present" flag; v3 omits the
+    // block for memory-backend entries. Both normalize to one bool.
+    if (const Value* io = w.get("io"); io != nullptr && io->is_object()) {
+      const Value* present = io->get("present");
+      e.io_present = present == nullptr ? true : present->boolean;
+    }
+    r.workloads.push_back(std::move(e));
+  }
+  if (const Value* sweeps = root.get("sweeps");
+      sweeps != nullptr && sweeps->is_array()) {
+    for (const Value& s : sweeps->arr) {
+      if (!s.is_object()) continue;
+      const std::string name = s.str_or("name", "");
+      const Value* telemetry = s.get("telemetry");
+      if (name.empty() || telemetry == nullptr ||
+          !telemetry->is_object()) {
+        continue;
+      }
+      r.sweep_engine_events.emplace(name,
+                                    telemetry->u64_or("engine_events", 0));
+    }
+  }
+  return r;
+}
+
+Verdict check_bench_results(const BenchResults& results,
+                            const BenchResults& baseline,
+                            const CheckOptions& opts) {
+  Verdict v;
+  if (results.scale != baseline.scale) {
+    v.violation = true;
+    v.notes.push_back("scale mismatch: results are \"" + results.scale +
+                      "\", baseline is \"" + baseline.scale + "\"");
+    return v;
+  }
+
+  auto add = [&](const std::string& entry, const std::string& metric,
+                 double base, double cur, Check::Status status) {
+    Check c;
+    c.entry = entry;
+    c.metric = metric;
+    c.baseline = base;
+    c.current = cur;
+    c.rel = base == cur ? 0.0 : base == 0.0 ? 1.0 : (cur - base) / base;
+    c.status = status;
+    if (status == Check::Status::kRegression) v.regression = true;
+    if (status == Check::Status::kViolation) v.violation = true;
+    v.checks.push_back(std::move(c));
+  };
+  auto exact = [&](const std::string& entry, const std::string& metric,
+                   std::uint64_t base, std::uint64_t cur) {
+    add(entry, metric, static_cast<double>(base), static_cast<double>(cur),
+        base == cur ? Check::Status::kPass : Check::Status::kViolation);
+  };
+  auto banded = [&](const std::string& entry, const std::string& metric,
+                    double base, double cur) {
+    // Only a *drop* below the band is a regression; faster always passes.
+    const bool regressed = base > 0.0 && cur < base * (1.0 - opts.tolerance);
+    add(entry, metric, base, cur,
+        regressed ? Check::Status::kRegression : Check::Status::kPass);
+  };
+
+  for (const BenchEntry& base : baseline.workloads) {
+    const auto it = std::find_if(
+        results.workloads.begin(), results.workloads.end(),
+        [&](const BenchEntry& e) {
+          return e.name == base.name && e.backend == base.backend;
+        });
+    if (it == results.workloads.end()) {
+      v.violation = true;
+      v.notes.push_back("baseline entry \"" + base.name + "\" (" +
+                        base.backend + ") missing from results");
+      continue;
+    }
+    exact(base.name, "engine_events", base.engine_events, it->engine_events);
+    exact(base.name, "trace_rows", base.trace_rows, it->trace_rows);
+    banded(base.name, "analyzer_rows_per_sec", base.analyzer_rows_per_sec,
+           it->analyzer_rows_per_sec);
+    banded(base.name, "events_per_sec", base.events_per_sec,
+           it->events_per_sec);
+  }
+  for (const auto& [name, base_events] : baseline.sweep_engine_events) {
+    const auto it = results.sweep_engine_events.find(name);
+    if (it == results.sweep_engine_events.end()) {
+      v.notes.push_back("sweep \"" + name + "\" missing from results");
+      continue;
+    }
+    exact("sweep:" + name, "engine_events", base_events, it->second);
+  }
+  return v;
+}
+
+void Verdict::write_json(std::ostream& os, const std::string& results_path,
+                         const std::string& baseline_path, double tolerance,
+                         bool advisory) const {
+  os << "{\n  \"schema\": \"wasp-report-verdict-v1\",\n";
+  os << "  \"results\": ";
+  write_json_escaped(os, results_path);
+  os << ",\n  \"baseline\": ";
+  write_json_escaped(os, baseline_path);
+  os << ",\n  \"tolerance\": " << json_num(tolerance);
+  os << ",\n  \"advisory\": " << (advisory ? "true" : "false");
+  os << ",\n  \"verdict\": \"" << verdict_string() << "\"";
+  os << ",\n  \"exit_code\": " << exit_code(advisory);
+  os << ",\n  \"checks\": [";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const Check& c = checks[i];
+    const char* status = c.status == Check::Status::kPass ? "pass"
+                         : c.status == Check::Status::kRegression
+                             ? "regression"
+                             : "determinism-violation";
+    os << (i == 0 ? "\n" : ",\n") << "    {\"entry\": ";
+    write_json_escaped(os, c.entry);
+    os << ", \"metric\": \"" << c.metric << "\", \"baseline\": "
+       << json_num(c.baseline) << ", \"current\": " << json_num(c.current)
+       << ", \"rel_delta\": " << json_num(c.rel) << ", \"status\": \""
+       << status << "\"}";
+  }
+  os << (checks.empty() ? "]" : "\n  ]");
+  os << ",\n  \"notes\": [";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    os << (i == 0 ? "" : ", ");
+    write_json_escaped(os, notes[i]);
+  }
+  os << "]\n}\n";
+}
+
+}  // namespace wasp::obs::report

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #ifndef WASP_OBS_OFF
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <memory>
@@ -168,6 +169,46 @@ void SpanTracer::write_chrome_trace(std::ostream& os) const {
     }
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<SpanAgg> SpanTracer::aggregate() const {
+  TracerState& s = tstate();
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::map<std::string_view, SpanAgg> by_name;
+  // Replay each track's event stream against a stack, charging a child's
+  // duration against its parent's self time on close. Unbalanced opens at
+  // the end of a buffer (spans still live, or torn by clear()) are dropped.
+  struct Open {
+    const char* name;
+    std::uint64_t t0;
+    std::uint64_t child_ns = 0;
+  };
+  for (const auto& b : s.bufs) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    std::vector<Open> stack;
+    for (const Event& e : b->events) {
+      if (e.ph == 'B') {
+        stack.push_back({e.name, e.ts});
+        continue;
+      }
+      if (stack.empty() || stack.back().name != e.name) continue;
+      const Open top = stack.back();
+      stack.pop_back();
+      const std::uint64_t dur = e.ts - top.t0;
+      SpanAgg& agg = by_name[top.name];
+      agg.count += 1;
+      agg.total_ns += dur;
+      agg.self_ns += dur - std::min(top.child_ns, dur);
+      if (!stack.empty()) stack.back().child_ns += dur;
+    }
+  }
+  std::vector<SpanAgg> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) {
+    agg.name.assign(name);
+    out.push_back(std::move(agg));
+  }
+  return out;
 }
 
 void SpanTracer::clear() {

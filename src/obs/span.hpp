@@ -24,10 +24,23 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
 namespace wasp::obs {
+
+/// Per-name rollup of buffered spans (RunManifest's span table). total is
+/// the sum of wall-clock durations over all completed instances; self is
+/// total minus the durations of directly nested spans on the same track —
+/// the time actually spent in that scope, not delegated to a child.
+/// Sorted by name in aggregate() output.
+struct SpanAgg {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
 
 #ifndef WASP_OBS_OFF
 
@@ -61,6 +74,10 @@ class SpanTracer {
   /// Emit every buffered span as Chrome trace-event JSON:
   /// {"traceEvents":[{"name":..,"ph":"B"|"E"|"M","ts":us,"pid":1,"tid":n}..]}
   void write_chrome_trace(std::ostream& os) const;
+
+  /// Roll the buffered spans up per name (count / total / self time).
+  /// Spans still open at the call are ignored; tracks merge by name.
+  std::vector<SpanAgg> aggregate() const;
 
   /// Drop all buffered events and thread tracks (tests).
   void clear();
@@ -107,6 +124,7 @@ class SpanTracer {
   void set_max_events_per_thread(std::size_t) noexcept {}
   std::uint64_t dropped_events() const { return 0; }
   void write_chrome_trace(std::ostream& os) const;
+  std::vector<SpanAgg> aggregate() const { return {}; }
   void clear() {}
 };
 

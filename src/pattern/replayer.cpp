@@ -1,5 +1,6 @@
 #include "pattern/replayer.hpp"
 
+#include <array>
 #include <map>
 #include <memory>
 #include <string>
@@ -8,6 +9,7 @@
 #include "io/compression.hpp"
 #include "io/hdf5.hpp"
 #include "io/stdio.hpp"
+#include "obs/obs.hpp"
 #include "sim/sync.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -15,6 +17,25 @@
 
 namespace wasp::pattern {
 namespace {
+
+/// Per-op-kind latency histograms (`replay.op_ns.<kind>`). The sample is
+/// *virtual* time elapsed across the op — a function of the simulation, so
+/// the histograms are byte-identical across --jobs counts, backends, and
+/// reruns, and belong to the manifest's deterministic subset. No wall
+/// clock is read; accumulation is always on, like every counter.
+obs::Histogram replay_op_hist(OpKind k) {
+  constexpr int kNumKinds = static_cast<int>(OpKind::kPacedRead) + 1;
+  static const std::array<obs::Histogram, kNumKinds> hists = [] {
+    std::array<obs::Histogram, kNumKinds> h;
+    for (int i = 0; i < kNumKinds; ++i) {
+      h[static_cast<std::size_t>(i)] = obs::Registry::instance().histogram(
+          std::string("replay.op_ns.") +
+          to_string(static_cast<OpKind>(i)));
+    }
+    return h;
+  }();
+  return hists[static_cast<std::size_t>(k)];
+}
 
 struct EventState {
   sim::Event ev;
@@ -150,6 +171,7 @@ sim::Task<void> spawn_body(std::shared_ptr<RunState> st, const Op* op,
 sim::Task<void> exec_ops(ExecCtx& c, const std::vector<Op>& ops) {
   for (const Op& o : ops) {
     EvalContext ec = eval_ctx(c);
+    const sim::Time op_vt0 = c.p.now();
     switch (o.kind) {
       case OpKind::kGroup: {
         if (o.var.empty()) {
@@ -367,6 +389,12 @@ sim::Task<void> exec_ops(ExecCtx& c, const std::vector<Op>& ops) {
                    size, count, t0);
         break;
       }
+    }
+    // Groups are containers (their body ops record themselves) and spawns
+    // detach — neither has a meaningful inline latency.
+    if (o.kind != OpKind::kGroup && o.kind != OpKind::kSpawn) {
+      replay_op_hist(o.kind).add(
+          static_cast<std::uint64_t>(c.p.now() - op_vt0));
     }
   }
 }

@@ -192,11 +192,13 @@ FaultKind FaultChannel::data_fault(bool is_write, Time now) {
   // [eio, eio+enospc) -> ENOSPC.
   const double u = rng_.uniform();
   if (u < p_eio) {
-    ++owner_->stats_.io_errors;
+    owner_->cells_.io_errors.add();
+    owner_->cells_.injected.add();
     return FaultKind::kEio;
   }
   if (u < p_eio + p_enospc) {
-    ++owner_->stats_.enospc_errors;
+    owner_->cells_.enospc_errors.add();
+    owner_->cells_.injected.add();
     return FaultKind::kEnospc;
   }
   return FaultKind::kNone;
@@ -205,7 +207,8 @@ FaultKind FaultChannel::data_fault(bool is_write, Time now) {
 FaultKind FaultChannel::meta_fault(Time now) {
   if (cfg_.meta <= 0.0 || !active(now)) return FaultKind::kNone;
   if (rng_.uniform() < cfg_.meta) {
-    ++owner_->stats_.meta_errors;
+    owner_->cells_.meta_errors.add();
+    owner_->cells_.injected.add();
     return FaultKind::kMetaError;
   }
   return FaultKind::kNone;
@@ -214,8 +217,8 @@ FaultKind FaultChannel::meta_fault(Time now) {
 Time FaultChannel::spike(Time now) {
   if (cfg_.slow <= 0.0 || !active(now)) return 0;
   if (rng_.uniform() < cfg_.slow) {
-    ++owner_->stats_.spikes;
-    owner_->stats_.spike_ns += cfg_.spike;
+    owner_->cells_.spikes.add();
+    owner_->cells_.spike_ns.add(static_cast<std::uint64_t>(cfg_.spike));
     return cfg_.spike;
   }
   return 0;
@@ -227,11 +230,26 @@ util::Bytes FaultChannel::clamp_capacity(util::Bytes spec_capacity,
   return std::min(spec_capacity, cfg_.capacity);
 }
 
-void FaultChannel::note_retry() { ++owner_->stats_.retries; }
+void FaultChannel::note_retry() { owner_->cells_.retries.add(); }
 
-void FaultChannel::note_exhausted() { ++owner_->stats_.exhausted; }
+void FaultChannel::note_exhausted() { owner_->cells_.exhausted.add(); }
 
-void FaultChannel::note_capacity_enospc() { ++owner_->stats_.enospc_errors; }
+void FaultChannel::note_capacity_enospc() {
+  owner_->cells_.enospc_errors.add();
+  owner_->cells_.injected.add();
+}
+
+FaultInjector::Stats FaultInjector::stats() const noexcept {
+  Stats s;
+  s.io_errors = cells_.io_errors.value();
+  s.enospc_errors = cells_.enospc_errors.value();
+  s.meta_errors = cells_.meta_errors.value();
+  s.spikes = cells_.spikes.value();
+  s.spike_ns = static_cast<Time>(cells_.spike_ns.value());
+  s.retries = cells_.retries.value();
+  s.exhausted = cells_.exhausted.value();
+  return s;
+}
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;

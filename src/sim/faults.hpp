@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -136,8 +137,14 @@ struct FaultPlan {
 };
 
 /// Owns the channels for one Simulation and the run's fault statistics.
+///
+/// The statistics live in obs::CounterCell instances, so every injector
+/// folds into the process-wide `faults.*` registry metrics (and thereby
+/// into run manifests) while stats() still reads back this injector's own
+/// counts — the same split SpillColumnStore uses for its IoStats.
 class FaultInjector {
  public:
+  /// Value snapshot of this injector's counters (built from the cells).
   struct Stats {
     std::uint64_t io_errors = 0;      ///< injected transient EIO
     std::uint64_t enospc_errors = 0;  ///< injected + capacity ENOSPC
@@ -159,14 +166,27 @@ class FaultInjector {
   FaultChannel* channel_for(const std::string& fs_name);
 
   const FaultPlan& plan() const noexcept { return plan_; }
-  const Stats& stats() const noexcept { return stats_; }
+  Stats stats() const noexcept;
 
  private:
   friend class FaultChannel;
 
+  /// Registry-backed counters. `injected` is the cross-kind total the
+  /// manifest gate watches; the per-kind cells break it down.
+  struct Cells {
+    obs::CounterCell injected{"faults.injected"};
+    obs::CounterCell io_errors{"faults.io_errors"};
+    obs::CounterCell enospc_errors{"faults.enospc_errors"};
+    obs::CounterCell meta_errors{"faults.meta_errors"};
+    obs::CounterCell spikes{"faults.spikes"};
+    obs::CounterCell spike_ns{"faults.spike_ns"};
+    obs::CounterCell retries{"faults.retries"};
+    obs::CounterCell exhausted{"faults.exhausted"};
+  };
+
   FaultPlan plan_;
   std::deque<FaultChannel> channels_;  ///< deque: stable addresses
-  Stats stats_;
+  Cells cells_;
 };
 
 }  // namespace wasp::sim

@@ -1,0 +1,217 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wasp::util::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error(msg + " at byte " + std::to_string(pos_));
+  }
+
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return word("true", [](Value& v) {
+        v.type = Value::Type::kBool;
+        v.boolean = true;
+      });
+      case 'f': return word("false", [](Value& v) {
+        v.type = Value::Type::kBool;
+        v.boolean = false;
+      });
+      case 'n': return word("null", [](Value&) {});
+      default: return number();
+    }
+  }
+
+  template <typename Fill>
+  Value word(const char* w, Fill fill) {
+    for (const char* p = w; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+    Value v;
+    fill(v);
+    return v;
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::kNumber;
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  Value string_value() {
+    Value v;
+    v.type = Value::Type::kString;
+    v.str = raw_string();
+    return v;
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // Our documents' names are ASCII; a \u escape decodes to a
+          // placeholder rather than dragging in UTF-16 machinery.
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          pos_ += 4;
+          out += '?';
+          break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.arr.push_back(value());
+      ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    ws();
+    if (consume('}')) return v;
+    for (;;) {
+      ws();
+      std::string key = raw_string();
+      ws();
+      expect(':');
+      v.obj.emplace(std::move(key), value());
+      ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double Value::num_or(const std::string& key, double fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string Value::str_or(const std::string& key,
+                          const std::string& fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->is_string() ? v->str : fallback;
+}
+
+std::uint64_t Value::u64_or(const std::string& key,
+                            std::uint64_t fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->is_number() && v->number >= 0
+             ? static_cast<std::uint64_t>(v->number)
+             : fallback;
+}
+
+Value parse(const std::string& text) { return Parser(text).parse(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace wasp::util::json

@@ -1,0 +1,55 @@
+// Minimal recursive-descent JSON reader shared by the reporting layer
+// (obs::RunManifest loading, wasp_report, wasp_trace_check). This is a
+// reader only — writers in this codebase emit JSON by hand so the output
+// byte layout stays under each producer's control.
+//
+// The dialect is full RFC 8259 minus \uXXXX decoding (names and keys in
+// our documents are ASCII; a \u escape decodes to '?'). Numbers land in a
+// double, which is exact for the integer counters we care about up to
+// 2^53 — callers that need exact u64 totals beyond that keep them out of
+// JSON (none do today).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wasp::util::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* get(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+
+  /// Member accessors with defaults — the common "optional field" shape.
+  double num_or(const std::string& key, double fallback) const;
+  std::string str_or(const std::string& key,
+                     const std::string& fallback) const;
+  std::uint64_t u64_or(const std::string& key,
+                       std::uint64_t fallback) const;
+};
+
+/// Parse one JSON document (plus trailing whitespace). Throws
+/// std::runtime_error with the byte offset of the first error.
+Value parse(const std::string& text);
+
+/// Read and parse a whole file; the error message names the path for both
+/// open failures and parse failures.
+Value parse_file(const std::string& path);
+
+}  // namespace wasp::util::json

@@ -11,6 +11,7 @@
 #include "analysis/spill_store.hpp"
 #include "obs/obs.hpp"
 #include "profile_test_util.hpp"
+#include "sim/faults.hpp"
 #include "workloads/registry.hpp"
 
 namespace wasp {
@@ -93,6 +94,76 @@ TEST(TelemetryDeterminism, ProfilesIdenticalOnOffAcrossJobsAndBackends) {
     expect_profiles_identical(out0.profile, out2.profile);
     ASSERT_EQ(sim2.tracer().records().size(), records.size());
   }
+}
+
+// The manifest's deterministic fingerprint digests exactly the metrics
+// that are functions of the simulation alone (engine events, virtual
+// time, analyzer rows, faults.*, replay.*). Two runs of the same
+// configuration must produce byte-identical fingerprints regardless of
+// analyzer job count or store backend; the registry deltas are taken per
+// run so the test is insensitive to whatever ran earlier in-process.
+TEST(ManifestDeterminism, FingerprintIdenticalAcrossJobCounts) {
+  const auto fingerprint_run = [](int jobs) {
+    const obs::Snapshot before = obs::Registry::instance().snapshot();
+    runtime::Simulation sim(cluster::lassen(4));
+    advisor::RunConfig cfg;
+    // Mild probabilities: enough draws land to populate faults.* without
+    // ever exhausting the retry budget (which would abort the run).
+    cfg.faults = sim::FaultPlan::parse(
+        "seed=7; *: eio=0.02, slow=0.2, spike=5ms");
+    analysis::Analyzer::Options o;
+    o.jobs = jobs;
+    (void)workloads::run_with(
+        sim, workloads::make_montage_mpi(workloads::MontageMpiParams::test()),
+        cfg, o);
+    obs::RunManifest m;
+    m.metrics = obs::Registry::instance().snapshot().delta(before);
+    return m.deterministic_fingerprint();
+  };
+  const std::string fp1 = fingerprint_run(1);
+  const std::string fp4 = fingerprint_run(4);
+  EXPECT_EQ(fp1, fp4);
+#ifndef WASP_OBS_OFF
+  EXPECT_FALSE(fp1.empty());
+  EXPECT_NE(fp1.find("engine.events="), std::string::npos);
+  EXPECT_NE(fp1.find("faults."), std::string::npos);
+#endif
+}
+
+TEST(ManifestDeterminism, FingerprintIdenticalAcrossBackends) {
+  runtime::Simulation sim(cluster::lassen(4));
+  (void)workloads::run_with(
+      sim, workloads::make_montage_mpi(workloads::MontageMpiParams::test()),
+      advisor::RunConfig{}, analysis::Analyzer::Options{});
+  const auto& records = sim.tracer().records();
+  ASSERT_GT(records.size(), 100u);
+
+  const auto fingerprint_analyze = [&](bool spill, const char* dir) {
+    const obs::Snapshot before = obs::Registry::instance().snapshot();
+    analysis::Analyzer::Options o;
+    o.jobs = spill ? 4 : 1;
+    if (spill) {
+      analysis::SpillColumnStore store(
+          {.dir = std::string(::testing::TempDir()) + "/" + dir,
+           .chunk_rows = 17,
+           .max_resident_chunks = 3});
+      store.append(records);
+      store.finalize();
+      (void)analysis::Analyzer(o).analyze(
+          analysis::tracer_input(sim.tracer(), &store));
+    } else {
+      (void)analysis::Analyzer(o).analyze(sim.tracer());
+    }
+    obs::RunManifest m;
+    m.metrics = obs::Registry::instance().snapshot().delta(before);
+    return m.deterministic_fingerprint();
+  };
+  const std::string memory_fp = fingerprint_analyze(false, "");
+  const std::string spill_fp = fingerprint_analyze(true, "manifest.spill");
+  EXPECT_EQ(memory_fp, spill_fp);
+#ifndef WASP_OBS_OFF
+  EXPECT_NE(memory_fp.find("analyze.rows="), std::string::npos);
+#endif
 }
 
 }  // namespace

@@ -1,10 +1,11 @@
-// Shared --telemetry/--trace-out plumbing for the CLI tools: enable the
-// relevant obs switches up front, write the snapshot JSON and Chrome trace
-// files at exit. Under -DWASP_OBS_OFF both files are still written (empty
-// schema-stable documents), so scripts never have to special-case the
-// build config.
+// Shared --telemetry/--trace-out/--report plumbing for the CLI tools:
+// enable the relevant obs switches up front, write the snapshot JSON,
+// Chrome trace, and run-manifest files at exit. Under -DWASP_OBS_OFF all
+// files are still written (empty schema-stable documents), so scripts
+// never have to special-case the build config.
 #pragma once
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -14,18 +15,40 @@
 
 namespace wasp::toolcli {
 
-/// Call once after flag parsing. Timing turns on if either output is
+/// Call once after flag parsing. Timing turns on if any output is
 /// requested (the snapshot's *_ns counters stay zero otherwise); span
-/// recording only when a trace file is wanted.
+/// recording when a trace file or a manifest (whose span table would
+/// otherwise be empty) is wanted.
 inline void enable_telemetry(const std::string& telemetry_out,
-                             const std::string& trace_out) {
-  if (!telemetry_out.empty() || !trace_out.empty()) {
+                             const std::string& trace_out,
+                             const std::string& report_out = "") {
+  if (!telemetry_out.empty() || !trace_out.empty() || !report_out.empty()) {
     obs::Registry::set_timing_enabled(true);
   }
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() || !report_out.empty()) {
     obs::SpanTracer::instance().set_enabled(true);
     obs::SpanTracer::instance().set_thread_name("main");
   }
+}
+
+/// Write the RunManifest for this process (no-op when `report_out` is
+/// empty). `t0` is the stopwatch started before the run began.
+inline void write_report(
+    const std::string& report_out, const char* tool, int jobs,
+    const std::string& backend,
+    std::chrono::steady_clock::time_point t0) {
+  if (report_out.empty()) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const obs::RunManifest m =
+      obs::RunManifest::capture(tool, jobs, backend, wall);
+  std::ofstream os(report_out);
+  WASP_CHECK_MSG(os.good(), "cannot open report file: " + report_out);
+  m.write_json(os);
+  os.flush();
+  WASP_CHECK_MSG(os.good(), "short write to report file: " + report_out);
+  std::cerr << "run manifest written to " << report_out << "\n";
 }
 
 /// Call once before exit; writes whichever outputs were requested.

@@ -6,7 +6,7 @@
 //                [--backend memory|spill] [--spill-dir DIR]
 //                [--chunk-rows N] [--max-resident-chunks N]
 //                [--no-compress] [--stats] [--telemetry out.json]
-//                [--trace-out out.trace.json]
+//                [--trace-out out.trace.json] [--report out.manifest.json]
 //
 // --backend spill streams the log through a SpillColumnStore (columnar
 // chunk files + bounded LRU + sequential prefetch) instead of
@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 
@@ -124,12 +125,13 @@ void print_io_stats(const analysis::IoStats& io) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto wall_t0 = std::chrono::steady_clock::now();
   if (argc < 2) {
     std::cerr << "usage: wasp_analyze <trace.wtrc> [--phases] [--files N]"
                  " [--hist] [--jobs N] [--backend memory|spill]"
                  " [--spill-dir DIR] [--chunk-rows N]"
                  " [--max-resident-chunks N] [--no-compress] [--stats]"
-                 " [--telemetry FILE] [--trace-out FILE]\n";
+                 " [--telemetry FILE] [--trace-out FILE] [--report FILE]\n";
     return 2;
   }
   bool show_phases = false;
@@ -141,6 +143,7 @@ int main(int argc, char** argv) {
   std::string spill_dir;
   std::string telemetry_out;
   std::string spans_out;
+  std::string report_out;
   std::size_t chunk_rows = 65536;
   std::size_t max_resident = 8;
   for (int i = 2; i < argc; ++i) {
@@ -169,9 +172,11 @@ int main(int argc, char** argv) {
       telemetry_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       spans_out = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_out = argv[++i];
     }
   }
-  toolcli::enable_telemetry(telemetry_out, spans_out);
+  toolcli::enable_telemetry(telemetry_out, spans_out, report_out);
   if (backend != "memory" && backend != "spill") {
     std::cerr << "unknown --backend (want memory|spill): " << backend << "\n";
     return 2;
@@ -262,5 +267,7 @@ int main(int argc, char** argv) {
     }
   }
   toolcli::write_telemetry(telemetry_out, spans_out);
+  toolcli::write_report(report_out, "wasp_analyze", util::default_jobs(),
+                        backend, wall_t0);
   return 0;
 }

@@ -1,0 +1,243 @@
+// wasp_report — read run artifacts back in: summarize a run manifest or
+// Chrome trace, diff two manifests with tolerance bands, or gate bench
+// results against a committed baseline.
+//
+//   wasp_report summarize <manifest.json|trace.json> [--top N]
+//   wasp_report diff <a.manifest.json> <b.manifest.json>
+//               [--tolerance X] [--tolerance NAME=X] [--all]
+//   wasp_report check <BENCH_results.json> --baseline <baseline.json>
+//               [--tolerance X] [--advisory] [--out FILE]
+//
+// Exit codes: 0 ok; diff: 1 on a tolerance breach; check: 1 on a perf
+// regression (0 with --advisory), 3 on a schema/determinism violation
+// (hard even in advisory mode); 2 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace wasp;
+namespace rep = wasp::obs::report;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  wasp_report summarize <manifest.json|trace.json> [--top N]\n"
+         "  wasp_report diff <a.json> <b.json> [--tolerance X]"
+         " [--tolerance NAME=X] [--all]\n"
+         "  wasp_report check <results.json> --baseline <baseline.json>\n"
+         "              [--tolerance X] [--advisory] [--out FILE]\n";
+  return 2;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string fmt_pct(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", rel * 100.0);
+  return buf;
+}
+
+void print_span_table(std::ostream& os, std::vector<obs::SpanAgg> spans,
+                      std::size_t top) {
+  std::uint64_t grand_self = 0;
+  for (const auto& s : spans) grand_self += s.self_ns;
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::SpanAgg& a, const obs::SpanAgg& b) {
+              if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+              return a.name < b.name;
+            });
+  util::TablePrinter t("hot spans (by self time)");
+  t.set_header({"span", "count", "total", "self", "self%"});
+  for (std::size_t i = 0; i < std::min(top, spans.size()); ++i) {
+    const auto& s = spans[i];
+    const double share =
+        grand_self == 0 ? 0.0
+                        : static_cast<double>(s.self_ns) /
+                              static_cast<double>(grand_self);
+    t.add_row({s.name, std::to_string(s.count),
+               fmt(static_cast<double>(s.total_ns) / 1e6) + "ms",
+               fmt(static_cast<double>(s.self_ns) / 1e6) + "ms",
+               fmt(share * 100.0) + "%"});
+  }
+  t.print(os);
+  if (spans.size() > top) {
+    os << "(" << spans.size() - top << " more spans; --top N to widen)\n";
+  }
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  std::string path;
+  std::size_t top = 20;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top = static_cast<std::size_t>(std::strtoull(args[++i].c_str(),
+                                                   nullptr, 10));
+      if (top == 0) return usage();
+    } else if (path.empty() && args[i][0] != '-') {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  // Sniff the document: a Chrome trace has "traceEvents", a manifest has
+  // the wasp-run-manifest schema tag. Anything else is a diagnostic.
+  const util::json::Value doc = util::json::parse_file(path);
+  if (doc.is_object() && doc.get("traceEvents") != nullptr) {
+    print_span_table(std::cout, rep::aggregate_chrome_trace(path), top);
+    return 0;
+  }
+  const rep::ManifestView m = rep::load_manifest(path);
+  std::cout << "manifest:      " << m.path << "\n"
+            << "tool:          " << m.tool << " (jobs=" << m.jobs
+            << ", backend=" << m.backend << ")\n"
+            << "git:           " << m.git_sha << "\n"
+            << "timestamp:     " << m.timestamp << "\n"
+            << "hw threads:    " << m.hardware_threads << "\n"
+            << "wall seconds:  " << fmt(m.wall_seconds) << "\n"
+            << "metrics:       " << m.metrics.size() << " flattened entries\n";
+  std::cout << "\n";
+  print_span_table(std::cout, m.spans, top);
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  rep::DiffOptions opts;
+  bool show_all = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      const std::string v = args[++i];
+      const auto eq = v.find('=');
+      if (eq == std::string::npos) {
+        opts.tolerance = std::strtod(v.c_str(), nullptr);
+      } else {
+        opts.overrides.emplace_back(v.substr(0, eq),
+                                    std::strtod(v.c_str() + eq + 1, nullptr));
+      }
+    } else if (args[i] == "--all") {
+      show_all = true;
+    } else if (args[i][0] != '-') {
+      paths.push_back(args[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  const rep::ManifestView a = rep::load_manifest(paths[0]);
+  const rep::ManifestView b = rep::load_manifest(paths[1]);
+  const auto deltas = rep::diff_manifests(a, b, opts);
+
+  util::TablePrinter t("manifest diff: " + paths[0] + " -> " + paths[1]);
+  t.set_header({"metric", "a", "b", "delta", "band", "verdict"});
+  std::size_t breaches = 0;
+  std::size_t changed = 0;
+  for (const auto& d : deltas) {
+    if (d.breach) ++breaches;
+    if (d.a != d.b) ++changed;
+    if (!show_all && d.a == d.b && !d.breach) continue;
+    const std::string band = d.deterministic ? "exact"
+                             : d.tolerance < 0 ? "report"
+                                               : fmt(d.tolerance * 100.0) + "%";
+    t.add_row({d.name, fmt(d.a), fmt(d.b), fmt_pct(d.rel), band,
+               d.breach ? "BREACH" : "ok"});
+  }
+  t.print(std::cout);
+  std::cout << deltas.size() << " metrics compared, " << changed
+            << " changed, " << breaches << " breached\n";
+  return breaches == 0 ? 0 : 1;
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  std::string results_path;
+  std::string baseline_path;
+  std::string out_path;
+  rep::CheckOptions opts;
+  bool advisory = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--baseline" && i + 1 < args.size()) {
+      baseline_path = args[++i];
+    } else if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      opts.tolerance = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--advisory") {
+      advisory = true;
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (results_path.empty() && args[i][0] != '-') {
+      results_path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (results_path.empty() || baseline_path.empty()) return usage();
+
+  const rep::BenchResults results = rep::load_bench_results(results_path);
+  const rep::BenchResults baseline = rep::load_bench_results(baseline_path);
+  const rep::Verdict verdict = rep::check_bench_results(results, baseline,
+                                                        opts);
+
+  for (const auto& c : verdict.checks) {
+    if (c.status == rep::Check::Status::kPass) continue;
+    std::cerr << (c.status == rep::Check::Status::kViolation ? "VIOLATION"
+                                                             : "REGRESSION")
+              << " " << c.entry << " " << c.metric << ": baseline "
+              << fmt(c.baseline) << ", current " << fmt(c.current) << " ("
+              << fmt_pct(c.rel) << ")\n";
+  }
+  for (const auto& n : verdict.notes) std::cerr << "note: " << n << "\n";
+  std::cerr << "verdict: " << verdict.verdict_string() << " ("
+            << verdict.checks.size() << " checks"
+            << (advisory ? ", advisory mode" : "") << ")\n";
+
+  if (out_path.empty()) {
+    verdict.write_json(std::cout, results_path, baseline_path, opts.tolerance,
+                       advisory);
+  } else {
+    std::ofstream os(out_path);
+    WASP_CHECK_MSG(os.good(), "cannot open verdict file: " + out_path);
+    verdict.write_json(os, results_path, baseline_path, opts.tolerance,
+                       advisory);
+    std::cerr << "verdict written to " << out_path << "\n";
+  }
+  return verdict.exit_code(advisory);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  for (const auto& a : args) {
+    if (a.empty()) return usage();
+  }
+  try {
+    if (cmd == "summarize") return cmd_summarize(args);
+    if (cmd == "diff") return cmd_diff(args);
+    if (cmd == "check") return cmd_check(args);
+  } catch (const util::SimError& e) {
+    std::cerr << "wasp_report: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "wasp_report: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}

@@ -4,8 +4,10 @@
 //   wasp_run <workload> [--nodes N] [--optimized] [--trace out.wtrc]
 //            [--yaml out.yaml] [--csv out.csv] [--test-scale] [--jobs N]
 //            [--faults SPEC] [--telemetry out.json] [--trace-out out.trace.json]
+//            [--report out.manifest.json]
 //
 // <workload> is a registry id; `wasp_run --list` prints them all.
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -46,7 +48,8 @@ void usage() {
          "                  'seed=7; pfs: eio=0.01, slow=0.05, spike=20ms'\n"
          "  --telemetry F   write the metrics-registry snapshot JSON\n"
          "  --trace-out F   write pipeline spans as Chrome trace-event"
-         " JSON\n";
+         " JSON\n"
+         "  --report F      write the run-manifest digest JSON\n";
   list_workloads(std::cerr);
 }
 
@@ -68,8 +71,10 @@ void write_file_or_die(const std::string& path, const std::string& what,
   }
 }
 
+/// The stderr line is rendered from the injector's registry-backed cells,
+/// so it always matches the faults.* counters in --telemetry/--report.
 void print_fault_stats(const sim::FaultInjector& inj) {
-  const auto& st = inj.stats();
+  const auto st = inj.stats();
   std::cerr << "faults: " << st.io_errors << " EIO, " << st.enospc_errors
             << " ENOSPC, " << st.meta_errors << " metadata errors, "
             << st.spikes << " latency spikes ("
@@ -79,6 +84,7 @@ void print_fault_stats(const sim::FaultInjector& inj) {
 }
 
 int run_main(int argc, char** argv) {
+  const auto wall_t0 = std::chrono::steady_clock::now();
   if (argc < 2) {
     usage();
     return 2;
@@ -103,6 +109,7 @@ int run_main(int argc, char** argv) {
   std::string yaml_out;
   std::string telemetry_out;
   std::string spans_out;
+  std::string report_out;
   advisor::RunConfig cfg;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,12 +148,14 @@ int run_main(int argc, char** argv) {
       telemetry_out = next();
     } else if (arg == "--trace-out") {
       spans_out = next();
+    } else if (arg == "--report") {
+      report_out = next();
     } else {
       usage();
       return 2;
     }
   }
-  toolcli::enable_telemetry(telemetry_out, spans_out);
+  toolcli::enable_telemetry(telemetry_out, spans_out, report_out);
 
   const auto entry =
       workloads::paper_workloads()[static_cast<std::size_t>(index)];
@@ -207,6 +216,8 @@ int run_main(int argc, char** argv) {
     std::cerr << "characterization written to " << yaml_out << "\n";
   }
   toolcli::write_telemetry(telemetry_out, spans_out);
+  toolcli::write_report(report_out, "wasp_run", util::default_jobs(), "memory",
+                        wall_t0);
   return 0;
 }
 

@@ -13,209 +13,21 @@
 //   5. every --expect NAME occurred as at least one completed span.
 //
 // Exit 0 when all checks pass (prints a one-line summary), 1 with a
-// diagnostic on the first failure, 2 on usage errors. The JSON parser is
-// self-contained — the tool has no dependency on the wasp library, so it
-// can vet traces from foreign builds too.
-#include <cctype>
-#include <cstdlib>
-#include <fstream>
+// diagnostic on the first failure, 2 on usage errors. The parser is the
+// shared util::json reader (this tool's original hand-rolled parser moved
+// there), so it vets traces from foreign builds as long as they are
+// well-formed JSON.
 #include <iostream>
 #include <map>
-#include <memory>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace {
 
-// --- Minimal recursive-descent JSON --------------------------------------
-
-struct JValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JValue> arr;
-  std::map<std::string, JValue> obj;
-
-  const JValue* get(const std::string& key) const {
-    const auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  /// Parses one value plus trailing whitespace; throws std::runtime_error
-  /// (with byte offset) on malformed input.
-  JValue parse() {
-    JValue v = value();
-    ws();
-    if (pos_ != s_.size()) fail("trailing data after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error(msg + " at byte " + std::to_string(pos_));
-  }
-
-  void ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JValue value() {
-    ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': return word("true", [] (JValue& v) {
-        v.type = JValue::Type::kBool;
-        v.boolean = true;
-      });
-      case 'f': return word("false", [] (JValue& v) {
-        v.type = JValue::Type::kBool;
-        v.boolean = false;
-      });
-      case 'n': return word("null", [] (JValue&) {});
-      default: return number();
-    }
-  }
-
-  template <typename Fill>
-  JValue word(const char* w, Fill fill) {
-    for (const char* p = w; *p != '\0'; ++p) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
-      ++pos_;
-    }
-    JValue v;
-    fill(v);
-    return v;
-  }
-
-  JValue number() {
-    const std::size_t start = pos_;
-    if (consume('-')) {}
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JValue v;
-    v.type = JValue::Type::kNumber;
-    try {
-      v.number = std::stod(s_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  JValue string_value() {
-    JValue v;
-    v.type = JValue::Type::kString;
-    v.str = raw_string();
-    return v;
-  }
-
-  std::string raw_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("unterminated escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u':
-          // Span names are ASCII; any \u escape decodes to a placeholder.
-          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-          pos_ += 4;
-          out += '?';
-          break;
-        default: fail("bad escape");
-      }
-    }
-  }
-
-  JValue array() {
-    expect('[');
-    JValue v;
-    v.type = JValue::Type::kArray;
-    ws();
-    if (consume(']')) return v;
-    for (;;) {
-      v.arr.push_back(value());
-      ws();
-      if (consume(']')) return v;
-      expect(',');
-    }
-  }
-
-  JValue object() {
-    expect('{');
-    JValue v;
-    v.type = JValue::Type::kObject;
-    ws();
-    if (consume('}')) return v;
-    for (;;) {
-      ws();
-      std::string key = raw_string();
-      ws();
-      expect(':');
-      v.obj.emplace(std::move(key), value());
-      ws();
-      if (consume('}')) return v;
-      expect(',');
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-// --- Trace validation -----------------------------------------------------
+using wasp::util::json::Value;
 
 struct Track {
   double last_ts = 0.0;
@@ -245,28 +57,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ifstream is(argv[1], std::ios::binary);
-  if (!is.good()) {
-    std::cerr << "wasp_trace_check: cannot open " << argv[1] << "\n";
-    return 1;
-  }
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  const std::string text = buf.str();
-
-  JValue root;
+  Value root;
   try {
-    root = JsonParser(text).parse();
+    root = wasp::util::json::parse_file(argv[1]);
   } catch (const std::exception& e) {
-    std::cerr << "wasp_trace_check: JSON parse error: " << e.what() << "\n";
+    std::cerr << "wasp_trace_check: " << e.what() << "\n";
     return 1;
   }
-  if (root.type != JValue::Type::kObject) {
+  if (!root.is_object()) {
     std::cerr << "wasp_trace_check: root is not an object\n";
     return 1;
   }
-  const JValue* events = root.get("traceEvents");
-  if (events == nullptr || events->type != JValue::Type::kArray) {
+  const Value* events = root.get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
     std::cerr << "wasp_trace_check: missing traceEvents array\n";
     return 1;
   }
@@ -275,29 +78,29 @@ int main(int argc, char** argv) {
   std::set<std::string> completed;
   std::size_t spans = 0;
   for (std::size_t i = 0; i < events->arr.size(); ++i) {
-    const JValue& e = events->arr[i];
-    if (e.type != JValue::Type::kObject) {
+    const Value& e = events->arr[i];
+    if (!e.is_object()) {
       return fail_event(i, "not an object");
     }
-    const JValue* name = e.get("name");
-    const JValue* ph = e.get("ph");
-    const JValue* pid = e.get("pid");
-    const JValue* tid = e.get("tid");
-    if (name == nullptr || name->type != JValue::Type::kString) {
+    const Value* name = e.get("name");
+    const Value* ph = e.get("ph");
+    const Value* pid = e.get("pid");
+    const Value* tid = e.get("tid");
+    if (name == nullptr || !name->is_string()) {
       return fail_event(i, "missing string \"name\"");
     }
-    if (ph == nullptr || ph->type != JValue::Type::kString ||
+    if (ph == nullptr || !ph->is_string() ||
         (ph->str != "B" && ph->str != "E" && ph->str != "M")) {
       return fail_event(i, "\"ph\" must be \"B\", \"E\", or \"M\"");
     }
-    if (pid == nullptr || pid->type != JValue::Type::kNumber ||
-        tid == nullptr || tid->type != JValue::Type::kNumber) {
+    if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+        !tid->is_number()) {
       return fail_event(i, "missing numeric \"pid\"/\"tid\"");
     }
     if (ph->str == "M") continue;  // metadata carries no timestamp
 
-    const JValue* ts = e.get("ts");
-    if (ts == nullptr || ts->type != JValue::Type::kNumber) {
+    const Value* ts = e.get("ts");
+    if (ts == nullptr || !ts->is_number()) {
       return fail_event(i, "missing numeric \"ts\"");
     }
     Track& track = tracks[{static_cast<long long>(pid->number),
