@@ -5,6 +5,7 @@
 //
 //   run_all [--jobs N] [--scale test|paper] [--out FILE]
 //           [--backend memory|spill] [--spill-dir DIR] [--no-compress]
+//           [--only WORKLOAD_ID] [--queue wheel|heap]
 //
 // --scale test (default) uses the reduced test parameters so the driver
 // finishes in seconds anywhere; --scale paper runs the full Table I scale.
@@ -69,6 +70,9 @@ struct SweepMetrics {
   std::string name;
   std::string backend = "memory";
   std::size_t scenarios = 0;
+  /// Job count run_many actually used for the jobs=N leg (1 when the batch
+  /// fell under the serial threshold).
+  int jobs_effective = 0;
   double jobs1_seconds = 0.0;
   double jobsN_seconds = 0.0;
   double wall_seconds = 0.0;  ///< both runs end to end
@@ -83,12 +87,13 @@ struct SweepMetrics {
 WorkloadMetrics measure_workload(const std::string& name,
                                  const cluster::ClusterSpec& spec,
                                  const workloads::Workload& workload,
-                                 const runtime::SpillPolicy* policy) {
+                                 const runtime::SpillPolicy* policy,
+                                 const sim::Engine::Options& eng_opts) {
   WorkloadMetrics m;
   m.name = name;
   const auto entry_t0 = Clock::now();
   const obs::Snapshot before = obs::Registry::instance().snapshot();
-  runtime::Simulation sim(spec);
+  runtime::Simulation sim(spec, eng_opts);
 
   std::unique_ptr<analysis::SpillColumnStore> store;
   if (policy != nullptr) {
@@ -198,14 +203,18 @@ std::vector<workloads::Scenario> stripe_sweep() {
   for (int count : {1, 2, 4, 8}) {
     auto spec = cluster::lassen(4);
     spec.pfs.stripe_count = count;
-    scenarios.push_back({"stripe-" + std::to_string(count), spec,
-                         [] {
-                           return workloads::make_montage_mpi(
-                               workloads::MontageMpiParams::test());
-                         },
-                         advisor::RunConfig{},
-                         analysis::Analyzer::Options{},
-                         {}});
+    workloads::Scenario s{"stripe-" + std::to_string(count), spec,
+                          [] {
+                            return workloads::make_montage_mpi(
+                                workloads::MontageMpiParams::test());
+                          },
+                          advisor::RunConfig{},
+                          analysis::Analyzer::Options{},
+                          {}};
+    // Test-scale Montage cells run ~700 engine events: far below the
+    // fan-out threshold, so run_many keeps the grid serial.
+    s.est_events = 700;
+    scenarios.push_back(std::move(s));
   }
   return scenarios;
 }
@@ -227,6 +236,7 @@ SweepMetrics measure_sweep(const std::string& name,
     runner1.set_spill(p);
     runnerN.set_spill(p);
   }
+  m.jobs_effective = workloads::effective_jobs(scenarios, runnerN);
   auto t0 = Clock::now();
   (void)workloads::run_many(scenarios, runner1);
   m.jobs1_seconds = elapsed_sec(t0);
@@ -271,6 +281,8 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_results.json";
   std::string backend = "memory";
   std::string spill_dir;
+  std::string only;
+  std::string queue = "wheel";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale" && i + 1 < argc) {
@@ -283,10 +295,24 @@ int main(int argc, char** argv) {
       spill_dir = argv[++i];
     } else if (arg == "--no-compress") {
       compress = false;
+    } else if (arg == "--only" && i + 1 < argc) {
+      // Run a single pipeline (by registry id, e.g. "cosmoflow") and skip
+      // the sweeps — isolates one workload's timing from the state the
+      // earlier pipelines leave behind (allocator arenas, page cache).
+      only = argv[++i];
+    } else if (arg == "--queue" && i + 1 < argc) {
+      // Engine queue for the pipelines: "wheel" (default) or "heap" (the
+      // pre-wheel oracle) — the end-to-end companion to the microbench's
+      // wheel-vs-heap comparison. Event counts must not depend on this.
+      queue = argv[++i];
     }
   }
   if (backend != "memory" && backend != "spill") {
     std::cerr << "unknown --backend (want memory|spill): " << backend << "\n";
+    return 2;
+  }
+  if (queue != "wheel" && queue != "heap") {
+    std::cerr << "unknown --queue (want wheel|heap): " << queue << "\n";
     return 2;
   }
   runtime::SpillPolicy spill_policy;
@@ -309,27 +335,39 @@ int main(int argc, char** argv) {
   std::cerr << "run_all: scale=" << (paper_scale ? "paper" : "test")
             << " jobs=" << jobs << " backend=" << backend << "\n";
 
+  sim::Engine::Options eng_opts;
+  eng_opts.queue = queue == "heap" ? sim::Engine::QueueKind::kHeap
+                                   : sim::Engine::QueueKind::kWheel;
+
   std::vector<WorkloadMetrics> workload_metrics;
   for (const auto& e : workloads::paper_workloads()) {
+    if (!only.empty() && only != e.id) continue;
     std::cerr << "  pipeline: " << e.name << "\n";
     const auto workload = paper_scale ? e.make_paper() : e.make_test();
     const auto spec = cluster::lassen(paper_scale ? 32 : 4);
     workload_metrics.push_back(
-        measure_workload(e.name, spec, workload, policy));
+        measure_workload(e.name, spec, workload, policy, eng_opts));
+  }
+  if (!only.empty() && workload_metrics.empty()) {
+    std::cerr << "unknown --only workload id: " << only << "\n";
+    return 2;
   }
 
   std::vector<SweepMetrics> sweep_metrics;
-  struct SweepDef {
-    const char* name;
-    std::vector<workloads::Scenario> scenarios;
-  };
-  std::vector<SweepDef> sweeps;
-  sweeps.push_back({"fig7_cosmoflow_opt", cosmoflow_sweep(paper_scale)});
-  sweeps.push_back({"fig8_montage_opt", montage_sweep(paper_scale)});
-  sweeps.push_back({"ablation_stripe_size", stripe_sweep()});
-  for (auto& s : sweeps) {
-    std::cerr << "  sweep: " << s.name << " (jobs 1 vs " << jobs << ")\n";
-    sweep_metrics.push_back(measure_sweep(s.name, s.scenarios, jobs, policy));
+  if (only.empty()) {
+    struct SweepDef {
+      const char* name;
+      std::vector<workloads::Scenario> scenarios;
+    };
+    std::vector<SweepDef> sweeps;
+    sweeps.push_back({"fig7_cosmoflow_opt", cosmoflow_sweep(paper_scale)});
+    sweeps.push_back({"fig8_montage_opt", montage_sweep(paper_scale)});
+    sweeps.push_back({"ablation_stripe_size", stripe_sweep()});
+    for (auto& s : sweeps) {
+      std::cerr << "  sweep: " << s.name << " (jobs 1 vs " << jobs << ")\n";
+      sweep_metrics.push_back(
+          measure_sweep(s.name, s.scenarios, jobs, policy));
+    }
   }
 
   std::ofstream os(out_path);
@@ -388,6 +426,7 @@ int main(int argc, char** argv) {
     os << "    {\"name\": \"" << m.name << "\", "
        << "\"backend\": \"" << m.backend << "\", "
        << "\"scenarios\": " << m.scenarios << ", "
+       << "\"jobs_effective\": " << m.jobs_effective << ", "
        << "\"jobs1_seconds\": " << json_num(m.jobs1_seconds) << ", "
        << "\"jobsN_seconds\": " << json_num(m.jobsN_seconds) << ", "
        << "\"wall_seconds\": " << json_num(m.wall_seconds) << ", "

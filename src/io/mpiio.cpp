@@ -51,8 +51,11 @@ sim::Task<void> MpiIo::collective(MpiFile& f, fs::Bytes offset,
     }
   } else if (comm.is_node_leader(p.comm_rank())) {
     // Aggregate the node's volume at cb_buffer granularity.
-    const auto node_ranks =
-        static_cast<fs::Bytes>(comm.ranks_on_node(p.node()).size());
+    if (node_rank_count_ == 0) {
+      node_rank_count_ =
+          static_cast<fs::Bytes>(comm.ranks_on_node(p.node()).size());
+    }
+    const fs::Bytes node_ranks = node_rank_count_;
     fs::Bytes node_bytes = per_rank * node_ranks;
     fs::Bytes agg_offset = offset;
     if (kind == fs::IoKind::kRead) {

@@ -58,6 +58,9 @@ class MpiIo {
 
   Posix posix_;
   MpiIoConfig cfg_;
+  /// Ranks on this proc's node (fixed per communicator); resolved on the
+  /// first collective instead of per op. 0 = not yet resolved.
+  fs::Bytes node_rank_count_ = 0;
 };
 
 }  // namespace wasp::io

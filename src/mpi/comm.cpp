@@ -25,6 +25,15 @@ Comm::Comm(sim::Engine& eng, std::vector<int> rank_to_node, NetParams net)
     node_ranks_[static_cast<std::size_t>(rank_to_node_[
         static_cast<std::size_t>(r)])].push_back(r);
   }
+  leader_by_rank_.resize(rank_to_node_.size());
+  for (int r = 0; r < size(); ++r) {
+    const auto& ranks =
+        node_ranks_[static_cast<std::size_t>(rank_to_node_[
+            static_cast<std::size_t>(r)])];
+    WASP_CHECK(!ranks.empty());
+    leader_by_rank_[static_cast<std::size_t>(r)] = ranks.front();
+  }
+  tree_latency_ = net_.latency * static_cast<sim::Time>(ceil_log2(size()));
 }
 
 int Comm::node_of(int rank) const {
@@ -35,16 +44,6 @@ int Comm::node_of(int rank) const {
 const std::vector<int>& Comm::ranks_on_node(int node) const {
   WASP_CHECK_MSG(node >= 0 && node < num_nodes_, "node out of range");
   return node_ranks_[static_cast<std::size_t>(node)];
-}
-
-int Comm::node_leader(int rank) const {
-  const auto& ranks = ranks_on_node(node_of(rank));
-  WASP_CHECK(!ranks.empty());
-  return ranks.front();
-}
-
-sim::Time Comm::tree_latency() const noexcept {
-  return net_.latency * static_cast<sim::Time>(ceil_log2(size()));
 }
 
 sim::Task<void> Comm::barrier() {

@@ -36,8 +36,12 @@ class Comm {
   int node_of(int rank) const;
   int num_nodes() const noexcept { return num_nodes_; }
   const std::vector<int>& ranks_on_node(int node) const;
-  /// Lowest rank mapped to the same node as `rank`.
-  int node_leader(int rank) const;
+  /// Lowest rank mapped to the same node as `rank`. Precomputed at
+  /// construction: the MPI-IO aggregation path asks on every collective op.
+  int node_leader(int rank) const {
+    WASP_CHECK_MSG(rank >= 0 && rank < size(), "rank out of range");
+    return leader_by_rank_[static_cast<std::size_t>(rank)];
+  }
   bool is_node_leader(int rank) const { return node_leader(rank) == rank; }
 
   /// All ranks must call; completes when the last arrives (+ log2 latency).
@@ -69,7 +73,7 @@ class Comm {
   const NetParams& net() const noexcept { return net_; }
 
   /// Latency of a log-tree collective over P ranks.
-  sim::Time tree_latency() const noexcept;
+  sim::Time tree_latency() const noexcept { return tree_latency_; }
 
  private:
   struct Mailbox {
@@ -81,6 +85,8 @@ class Comm {
   sim::Engine& eng_;
   std::vector<int> rank_to_node_;
   std::vector<std::vector<int>> node_ranks_;
+  std::vector<int> leader_by_rank_;
+  sim::Time tree_latency_ = 0;
   int num_nodes_ = 0;
   NetParams net_;
 

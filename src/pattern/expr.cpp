@@ -1,6 +1,7 @@
 #include "pattern/expr.hpp"
 
 #include <cctype>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -377,26 +378,64 @@ std::int64_t Expr::eval(const EvalContext& ctx) const {
   return eval_node(*ast_, ctx, text_);
 }
 
-std::string expand(const std::string& tmpl, const EvalContext& ctx) {
-  std::string out;
-  out.reserve(tmpl.size());
+namespace {
+
+/// A template split once into alternating literal / expression pieces:
+/// literals.size() == exprs.size() + 1, and expansion interleaves them as
+/// literals[0] eval(exprs[0]) literals[1] ... literals.back().
+struct CompiledTemplate {
+  std::vector<std::string> literals;
+  std::vector<Expr> exprs;
+};
+
+/// expand() sits on the replay hot path — a paper-scale run evaluates the
+/// same handful of path templates hundreds of thousands of times, and
+/// re-parsing the embedded expressions dominated the profile. Split and
+/// parse each distinct template once per thread (run_many replays on
+/// worker threads, so the cache is thread_local rather than locked) and
+/// re-evaluate the cached ASTs. Malformed templates throw before anything
+/// is cached, so every call on a bad template keeps failing identically.
+const CompiledTemplate& compiled_template(const std::string& tmpl) {
+  thread_local std::unordered_map<std::string, CompiledTemplate> cache;
+  const auto it = cache.find(tmpl);
+  if (it != cache.end()) return it->second;
+
+  CompiledTemplate ct;
+  std::string lit;
   std::size_t i = 0;
   while (i < tmpl.size()) {
     const char c = tmpl[i];
     if (c != '{') {
       WASP_CHECK_MSG(c != '}',
                      "unmatched '}' in path template: " + tmpl);
-      out += c;
+      lit += c;
       ++i;
       continue;
     }
     const std::size_t close = tmpl.find('}', i + 1);
     WASP_CHECK_MSG(close != std::string::npos,
                    "unmatched '{' in path template: " + tmpl);
-    const Expr e(tmpl.substr(i + 1, close - i - 1));
-    out += std::to_string(e.eval(ctx));
+    ct.literals.push_back(std::move(lit));
+    lit.clear();
+    ct.exprs.emplace_back(tmpl.substr(i + 1, close - i - 1));
     i = close + 1;
   }
+  ct.literals.push_back(std::move(lit));
+  return cache.emplace(tmpl, std::move(ct)).first->second;
+}
+
+}  // namespace
+
+std::string expand(const std::string& tmpl, const EvalContext& ctx) {
+  const CompiledTemplate& ct = compiled_template(tmpl);
+  if (ct.exprs.empty()) return ct.literals.front();
+  std::string out;
+  out.reserve(tmpl.size() + 8 * ct.exprs.size());
+  for (std::size_t k = 0; k < ct.exprs.size(); ++k) {
+    out += ct.literals[k];
+    out += std::to_string(ct.exprs[k].eval(ctx));
+  }
+  out += ct.literals.back();
   return out;
 }
 

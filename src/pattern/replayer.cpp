@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "io/compression.hpp"
@@ -55,7 +56,10 @@ struct RunState {
   JobPattern pat;
   std::map<std::string, std::uint16_t> app_ids;
   std::map<std::string, CommSet> comms;
-  std::map<std::string, std::unique_ptr<EventState>> events;
+  // Hash map, not std::map: signal/wait ops resolve their event once per
+  // executed op (paced lanes make this millions of lookups) and nothing
+  // iterates the container, so ordering buys nothing here.
+  std::unordered_map<std::string, std::unique_ptr<EventState>> events;
 
   RunState(runtime::Simulation& s, JobPattern p) : sim(s), pat(std::move(p)) {}
 
@@ -120,6 +124,11 @@ struct ExecCtx {
   Env& env;
   util::Rng& rng;
   std::map<std::string, Slot>& slots;
+  // One-entry slot memo keyed by Op identity: loop bodies re-execute the
+  // same Op node millions of times, and std::map references are stable, so
+  // the repeat lookups collapse to a pointer compare.
+  const Op* last_slot_op = nullptr;
+  Slot* last_slot = nullptr;
 };
 
 EvalContext eval_ctx(ExecCtx& c) {
@@ -151,11 +160,19 @@ std::uint32_t eval_count(const Expr& e, const EvalContext& ctx) {
 }
 
 Slot& slot_of(ExecCtx& c, const Op& o) {
-  if (o.kind == OpKind::kOpen) return c.slots[o.handle];
-  auto it = c.slots.find(o.handle);
-  WASP_CHECK_MSG(it != c.slots.end(), "pattern: handle '" + o.handle +
-                                          "' used before open");
-  return it->second;
+  if (c.last_slot_op == &o) return *c.last_slot;
+  Slot* s;
+  if (o.kind == OpKind::kOpen) {
+    s = &c.slots[o.handle];
+  } else {
+    auto it = c.slots.find(o.handle);
+    WASP_CHECK_MSG(it != c.slots.end(), "pattern: handle '" + o.handle +
+                                            "' used before open");
+    s = &it->second;
+  }
+  c.last_slot_op = &o;
+  c.last_slot = s;
+  return *s;
 }
 
 sim::Time jittered(const Op& o, util::Rng& rng) {
@@ -169,8 +186,11 @@ sim::Task<void> spawn_body(std::shared_ptr<RunState> st, const Op* op,
                            LaneCfg cfg, Env env, int rank, int node);
 
 sim::Task<void> exec_ops(ExecCtx& c, const std::vector<Op>& ops) {
+  // One context for the whole op list: it only carries pointers into `c`
+  // (env bindings mutate underneath it, which eval() sees), and building
+  // the size_of std::function per op showed up in profiles.
+  const EvalContext ec = eval_ctx(c);
   for (const Op& o : ops) {
-    EvalContext ec = eval_ctx(c);
     const sim::Time op_vt0 = c.p.now();
     switch (o.kind) {
       case OpKind::kGroup: {
@@ -186,7 +206,7 @@ sim::Task<void> exec_ops(ExecCtx& c, const std::vector<Op>& ops) {
         WASP_CHECK_MSG(step > 0, "pattern: loop step must be positive");
         for (std::int64_t i = begin; i < end; i += step) {
           c.env.set(o.var, i);
-          if (!o.when.empty() && o.when.eval(eval_ctx(c)) == 0) break;
+          if (!o.when.empty() && o.when.eval(ec) == 0) break;
           co_await exec_ops(c, o.body);
         }
         break;

@@ -9,25 +9,6 @@ mpi::Comm& Proc::comm() {
   return *comm_;
 }
 
-void Proc::record(trace::Iface iface, trace::Op op, trace::FileKey file,
-                  fs::Bytes offset, fs::Bytes size, std::uint32_t count,
-                  sim::Time tstart) {
-  if (suppressed()) return;
-  trace::Record r;
-  r.app = app_;
-  r.rank = rank_;
-  r.node = node_;
-  r.iface = iface;
-  r.op = op;
-  r.file = file;
-  r.offset = offset;
-  r.size = size;
-  r.count = count;
-  r.tstart = tstart;
-  r.tend = now();
-  tracer().add(r);
-}
-
 sim::Task<void> Proc::timed_span(trace::Iface iface, sim::Time duration) {
   const sim::Time t0 = now();
   co_await sim::Delay(engine(), duration);

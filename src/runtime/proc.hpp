@@ -51,10 +51,26 @@ class Proc {
   sim::Task<void> allreduce(fs::Bytes n);
 
   /// Append a fully-specified record stamped with this process's identity.
-  /// No-op while this process is inside a Suppression scope.
+  /// No-op while this process is inside a Suppression scope. Inline: every
+  /// traced I/O op ends here, so the call sits on the simulation hot path.
   void record(trace::Iface iface, trace::Op op, trace::FileKey file,
               fs::Bytes offset, fs::Bytes size, std::uint32_t count,
-              sim::Time tstart);
+              sim::Time tstart) {
+    if (suppressed()) return;
+    trace::Record r;
+    r.app = app_;
+    r.rank = rank_;
+    r.node = node_;
+    r.iface = iface;
+    r.op = op;
+    r.file = file;
+    r.offset = offset;
+    r.size = size;
+    r.count = count;
+    r.tstart = tstart;
+    r.tend = now();
+    tracer().add(r);
+  }
 
   bool suppressed() const noexcept { return suppression_ > 0; }
 

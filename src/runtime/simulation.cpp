@@ -4,7 +4,12 @@
 
 namespace wasp::runtime {
 
-Simulation::Simulation(cluster::ClusterSpec spec) : spec_(std::move(spec)) {
+Simulation::Simulation(cluster::ClusterSpec spec)
+    : Simulation(std::move(spec), sim::Engine::Options{}) {}
+
+Simulation::Simulation(cluster::ClusterSpec spec,
+                       const sim::Engine::Options& engine_opts)
+    : spec_(std::move(spec)), engine_(engine_opts) {
   pfs_ = std::make_unique<fs::ParallelFS>(engine_, spec_.pfs, spec_.nodes);
   mounts_.add(*pfs_);
   tracer_.register_fs(*pfs_);

@@ -22,6 +22,9 @@ namespace wasp::runtime {
 class Simulation {
  public:
   explicit Simulation(cluster::ClusterSpec spec);
+  /// Same, but with explicit engine options — e.g. queue = kHeap to run a
+  /// full workload under the equivalence-oracle event queue.
+  Simulation(cluster::ClusterSpec spec, const sim::Engine::Options& engine_opts);
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 

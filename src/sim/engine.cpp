@@ -1,18 +1,22 @@
 #include "sim/engine.hpp"
 
+#include <limits>
+
 #include "obs/obs.hpp"
 
 namespace wasp::sim {
 namespace {
 
 // Engine telemetry: run-level, never per-event — the event loop stays
-// untouched. events + vtime always accumulate (two relaxed adds per run()
-// call); wall time gates on timing_enabled.
+// untouched beyond a peak-depth compare. events + vtime always accumulate
+// (two relaxed adds per run() call); wall time gates on timing_enabled.
 struct EngineMetrics {
   obs::Counter events = obs::Registry::instance().counter("engine.events");
   obs::Counter vtime_ns =
       obs::Registry::instance().counter("engine.vtime_ns");
   obs::Counter run_ns = obs::Registry::instance().counter("engine.run_ns");
+  obs::Gauge queue_depth =
+      obs::Registry::instance().gauge("engine.queue_depth");
 };
 
 const EngineMetrics& engine_metrics() {
@@ -31,11 +35,6 @@ Engine::~Engine() {
   }
 }
 
-void Engine::schedule(Time at, std::coroutine_handle<> h) {
-  WASP_CHECK_MSG(at >= now_, "scheduling into the past");
-  queue_.push(Item{at, seq_++, h});
-}
-
 void Engine::spawn(Task<void> task) {
   WASP_CHECK_MSG(task.valid(), "spawning empty task");
   auto h = task.release();
@@ -51,41 +50,44 @@ void Engine::check_root_errors() {
   }
 }
 
-void Engine::run() {
+template <typename Queue>
+void Engine::drain(Queue& q, Time limit) {
   WASP_OBS_SPAN("engine.run");
   const EngineMetrics& m = engine_metrics();
   obs::TimerGuard wall(m.run_ns);
   const std::uint64_t events0 = events_;
   const Time now0 = now_;
-  while (!queue_.empty()) {
-    Item item = queue_.top();
-    queue_.pop();
-    now_ = item.at;
+  std::size_t peak = q.size();
+  QueueEvent e;
+  while (q.pop_at_most(limit, e)) {
+    now_ = e.at;
     ++events_;
-    item.h.resume();
+    e.h.resume();
+    const std::size_t depth = q.size();
+    if (depth > peak) peak = depth;
   }
   m.events.add(events_ - events0);
   m.vtime_ns.add(now_ - now0);
+  m.queue_depth.set_max(static_cast<std::int64_t>(peak));
   check_root_errors();
 }
 
-bool Engine::run_until(Time limit) {
-  WASP_OBS_SPAN("engine.run");
-  const EngineMetrics& m = engine_metrics();
-  obs::TimerGuard wall(m.run_ns);
-  const std::uint64_t events0 = events_;
-  const Time now0 = now_;
-  while (!queue_.empty() && queue_.top().at <= limit) {
-    Item item = queue_.top();
-    queue_.pop();
-    now_ = item.at;
-    ++events_;
-    item.h.resume();
+void Engine::run() {
+  constexpr Time kNoLimit = std::numeric_limits<Time>::max();
+  if (opts_.queue == QueueKind::kWheel) {
+    drain(wheel_, kNoLimit);
+  } else {
+    drain(heap_, kNoLimit);
   }
-  m.events.add(events_ - events0);
-  m.vtime_ns.add(now_ - now0);
-  check_root_errors();
-  if (queue_.empty()) return true;
+}
+
+bool Engine::run_until(Time limit) {
+  if (opts_.queue == QueueKind::kWheel) {
+    drain(wheel_, limit);
+  } else {
+    drain(heap_, limit);
+  }
+  if (pending_events() == 0) return true;
   now_ = limit;
   return false;
 }

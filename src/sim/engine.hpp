@@ -1,47 +1,56 @@
 // Deterministic discrete-event engine.
 //
-// The engine owns a priority queue of (time, sequence, coroutine) wake-ups.
-// Sequence numbers break ties FIFO, so two events at the same instant always
-// run in schedule order — runs are bit-reproducible.
+// The engine owns a queue of (time, sequence, coroutine) wake-ups. Sequence
+// numbers break ties FIFO, so two events at the same instant always run in
+// schedule order — runs are bit-reproducible. Two interchangeable pop-min
+// structures sit behind Options::queue (sim/event_queue.hpp): the bucketed
+// timer wheel (default, O(1) for the same-instant barrier storms HPC
+// workloads generate) and the binary heap kept as the equivalence oracle —
+// the same seam shape as Analyzer::Options::reference_scan.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
 
 namespace wasp::sim {
 
-/// Simulated time in integer nanoseconds since the start of the run.
-using Time = std::uint64_t;
-
-inline constexpr Time kNs = 1;
-inline constexpr Time kUs = 1000 * kNs;
-inline constexpr Time kMs = 1000 * kUs;
-inline constexpr Time kSec = 1000 * kMs;
-
-/// Convert a (possibly fractional) second count to integer nanoseconds.
-constexpr Time seconds(double s) noexcept {
-  return static_cast<Time>(s * 1e9 + 0.5);
-}
-/// Convert simulated time to seconds for reporting.
-constexpr double to_seconds(Time t) noexcept {
-  return static_cast<double>(t) * 1e-9;
-}
-
 class Engine {
  public:
+  enum class QueueKind { kHeap, kWheel };
+
+  struct Options {
+    QueueKind queue = QueueKind::kWheel;
+  };
+
   Engine() = default;
+  explicit Engine(const Options& opts) : opts_(opts) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
   Time now() const noexcept { return now_; }
+  QueueKind queue_kind() const noexcept { return opts_.queue; }
 
-  /// Wake coroutine `h` at absolute time `at` (must be >= now()).
-  void schedule(Time at, std::coroutine_handle<> h);
+  /// Wake coroutine `h` at absolute time `at`. Scheduling into the past is
+  /// a contract violation: asserts in debug builds, throws util::SimError
+  /// in every build.
+  void schedule(Time at, std::coroutine_handle<> h) {
+    assert(at >= now_ && "Engine::schedule into the past");
+    WASP_CHECK_MSG(at >= now_, "scheduling into the past");
+    const std::uint64_t seq = seq_++;
+    if (opts_.queue == QueueKind::kWheel) {
+      wheel_.push(at, seq, h);
+    } else {
+      heap_.push(at, seq, h);
+    }
+  }
 
   /// Wake coroutine `h` after `delay`.
   void schedule_after(Time delay, std::coroutine_handle<> h) {
@@ -61,25 +70,27 @@ class Engine {
   bool run_until(Time limit);
 
   std::uint64_t events_processed() const noexcept { return events_; }
-  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::size_t pending_events() const noexcept {
+    return opts_.queue == QueueKind::kWheel ? wheel_.size() : heap_.size();
+  }
+
+  /// Wheel-tier traffic counters (all zero when running on the heap queue).
+  const WheelEventQueue::Stats& wheel_stats() const noexcept {
+    return wheel_.stats();
+  }
 
   /// True when every spawned root task ran to completion (deadlock /
   /// starvation detector for tests).
   bool all_roots_done() const noexcept;
 
  private:
-  struct Item {
-    Time at;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-    bool operator>(const Item& o) const noexcept {
-      return at != o.at ? at > o.at : seq > o.seq;
-    }
-  };
-
+  template <typename Queue>
+  void drain(Queue& q, Time limit);
   void check_root_errors();
 
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  Options opts_;
+  HeapEventQueue heap_;
+  WheelEventQueue wheel_;
   std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;

@@ -1,0 +1,110 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace wasp::sim {
+namespace {
+
+struct QueueMetrics {
+  obs::Counter bucket_scan_ns =
+      obs::Registry::instance().counter("engine.bucket_scan_ns");
+};
+
+const QueueMetrics& queue_metrics() {
+  static const QueueMetrics m;
+  return m;
+}
+
+}  // namespace
+
+bool WheelEventQueue::advance(Time limit) {
+  // Called only with the FIFO lane empty: locate the earliest pending batch
+  // with time <= `limit` and load it into the lane. Wall time for the
+  // non-trivial paths (cascades, overflow reseeds) accrues to
+  // engine.bucket_scan_ns when timing is enabled; the level-0 hit is O(1)
+  // and stays timer-free so enabling timing does not tax the common case.
+  for (;;) {
+    // A cascade or overflow reseed may have re-placed events whose time
+    // equals the new cursor straight into the FIFO lane.
+    if (!fifo_.empty()) return true;
+    const int level = std::countr_zero(level_mask_);
+
+    if (level >= kLevels) {
+      // Wheel drained; pull the overflow tier back through it. Between
+      // reseeds the cursor's bits above the horizon are constant, so every
+      // overflow event is later than every wheel event and this branch only
+      // runs when it really holds the minimum.
+      if (overflow_.empty()) return false;
+      obs::TimerGuard scan(queue_metrics().bucket_scan_ns);
+      Time min_at = overflow_.front().at;
+      for (const QueueEvent& e : overflow_) min_at = std::min(min_at, e.at);
+      if (min_at > limit) return false;
+      ++stats_.overflow_reseeds;
+      cursor_ = min_at;
+      std::vector<QueueEvent> pending;
+      pending.swap(overflow_);
+      // Still in push (= seq) order, so re-placement keeps every bucket
+      // seq-ascending; events still past the horizon rejoin overflow_.
+      for (const QueueEvent& e : pending) place(e);
+      continue;
+    }
+
+    const std::size_t idx =
+        static_cast<std::size_t>(std::countr_zero(occupancy_[level]));
+    std::vector<QueueEvent>& bucket = buckets_[level][idx];
+
+    if (level == 0) {
+      // A level-0 bucket holds exactly one timestamp: the cursor with its
+      // low 6-bit group replaced by the bucket index. Already FIFO by seq.
+      const Time t = (cursor_ & ~static_cast<Time>(kIndexMask)) | Time{idx};
+      if (t > limit) return false;
+      cursor_ = t;
+      occupancy_[0] &= ~(std::uint64_t{1} << idx);
+      if (occupancy_[0] == 0) level_mask_ &= ~std::uint32_t{1};
+      fifo_.swap(bucket);  // bucket inherits the drained lane's capacity
+      return true;
+    }
+
+    // Cascade. This bucket is the first nonempty one of the lowest nonempty
+    // level, so it holds the global minimum pending time: jump the cursor to
+    // that minimum (not just the bucket start) and the minimum drops
+    // straight into the FIFO lane while everything else re-places at a
+    // strictly lower level — cutting re-buckets per event versus the
+    // classic start-of-bucket cascade. Equal-time events always share one
+    // bucket (two live placements of the same timestamp would require the
+    // cursor to have entered the enclosing bucket without cascading it), so
+    // the jump cannot split a same-instant batch. Clamped to `limit` so the
+    // cursor never outruns run_until; in that case events still re-place
+    // relative to `limit` and the next call picks them up.
+    const int shift = (level + 1) * kLevelBits;
+    const Time bucket_start =
+        ((cursor_ >> shift) << shift) | (Time{idx} << (level * kLevelBits));
+    if (bucket_start > limit) return false;
+    occupancy_[level] &= ~(std::uint64_t{1} << idx);
+    if (occupancy_[level] == 0) {
+      level_mask_ &= ~(std::uint32_t{1} << level);
+    }
+    ++stats_.cascades;
+    stats_.cascaded_events += bucket.size();
+    if (bucket.size() == 1) {
+      // Sparse timelines make one-event buckets the dominant cascade shape;
+      // keep this O(1) re-placement timer-free like the level-0 hit.
+      const QueueEvent e = bucket.front();
+      bucket.clear();
+      cursor_ = std::min(e.at, limit);
+      place(e);
+      continue;
+    }
+    obs::TimerGuard scan(queue_metrics().bucket_scan_ns);
+    cascade_scratch_.swap(bucket);
+    Time min_at = cascade_scratch_.front().at;
+    for (const QueueEvent& e : cascade_scratch_) min_at = std::min(min_at, e.at);
+    cursor_ = std::min(min_at, limit);
+    for (const QueueEvent& e : cascade_scratch_) place(e);
+    cascade_scratch_.clear();
+  }
+}
+
+}  // namespace wasp::sim

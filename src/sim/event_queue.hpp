@@ -1,0 +1,185 @@
+// Event queues for the discrete-event engine.
+//
+// Both queues implement the same pop-min contract over (time, seq) keys:
+// sequence numbers are assigned by the engine in schedule order, so two
+// events at the same instant always resume FIFO and runs stay
+// bit-reproducible regardless of which queue serves them.
+//
+//   HeapEventQueue   the classic binary heap (std::priority_queue). O(log n)
+//                    per push/pop. Kept as the equivalence oracle: property
+//                    tests drive identical schedules through both queues and
+//                    assert identical pop order.
+//   WheelEventQueue  hierarchical bucketed timer wheel with a same-timestamp
+//                    FIFO fast lane and a far-future overflow tier. O(1)
+//                    push, O(1) amortized pop for the dense same-instant
+//                    wake-ups HPC workloads generate (barriers, allreduces
+//                    waking hundreds of ranks at one instant), at most
+//                    kLevels re-buckets per event for sparse far apart ones.
+//
+// Wheel geometry: kLevels levels of 64 buckets; level L buckets are
+// 64^L ns wide, so the wheel spans 64^kLevels ns (~3.3 simulated days at
+// kLevels = 8) before the overflow tier kicks in. An event is placed on the
+// lowest level whose bucket width still separates it from the cursor
+// (level = highest differing 6-bit group of `at ^ cursor`), which makes two
+// invariants hold by construction:
+//
+//   1. Within any bucket, events are appended in ascending seq order
+//      (cascades preserve order; direct pushes always carry the largest seq
+//      so far), so no sorting is ever needed — a level-0 bucket holds
+//      exactly one timestamp and drains FIFO.
+//   2. At every level, buckets at or before the cursor's own index are
+//      empty, so "next event" is a find-first-set on a 64-bit occupancy
+//      word per level.
+//
+// The cursor only ever advances to (a) the exact timestamp of the bucket
+// being drained or (b) the minimum event time of a bucket being cascaded
+// (clamped to the caller's pop limit) — the cascaded bucket is the first
+// nonempty one of the lowest nonempty level, so its minimum is the global
+// pending minimum and both targets are <= the time of every pending event.
+// Pops therefore come out in exact (time, seq) order — the property test in
+// tests/test_sim_engine.cpp pins this against the heap oracle.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wasp::sim {
+
+/// One scheduled wake-up: resume `h` at simulated time `at`; `seq` breaks
+/// same-instant ties in schedule order.
+struct QueueEvent {
+  Time at = 0;
+  std::uint64_t seq = 0;
+  std::coroutine_handle<> h;
+};
+
+/// Binary-heap queue (the pre-wheel engine core, kept as the oracle).
+class HeapEventQueue {
+ public:
+  void push(Time at, std::uint64_t seq, std::coroutine_handle<> h) {
+    queue_.push(QueueEvent{at, seq, h});
+  }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t size() const noexcept { return queue_.size(); }
+
+  /// Pop the earliest (time, seq) event if its time is <= `limit`.
+  bool pop_at_most(Time limit, QueueEvent& out) {
+    if (queue_.empty() || queue_.top().at > limit) return false;
+    out = queue_.top();
+    queue_.pop();
+    return true;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const QueueEvent& a, const QueueEvent& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<QueueEvent, std::vector<QueueEvent>, Later> queue_;
+};
+
+/// Hierarchical timer wheel (see file comment for the determinism argument).
+class WheelEventQueue {
+ public:
+  static constexpr int kLevelBits = 6;
+  static constexpr std::size_t kBucketsPerLevel = std::size_t{1}
+                                                  << kLevelBits;
+  static constexpr int kLevels = 8;
+  /// Events at least this far past the cursor go to the overflow tier.
+  static constexpr Time kHorizon = Time{1} << (kLevelBits * kLevels);
+
+  struct Stats {
+    std::uint64_t fifo_pushes = 0;     ///< same-timestamp fast-lane pushes
+    std::uint64_t bucket_pushes = 0;   ///< wheel-bucket placements
+    std::uint64_t cascades = 0;        ///< higher-level buckets redistributed
+    std::uint64_t cascaded_events = 0; ///< events re-placed by cascades
+    std::uint64_t overflow_pushes = 0; ///< events beyond the wheel horizon
+    std::uint64_t overflow_reseeds = 0;
+  };
+
+  void push(Time at, std::uint64_t seq, std::coroutine_handle<> h) {
+    ++size_;
+    place(QueueEvent{at, seq, h});
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Pop the earliest (time, seq) event if its time is <= `limit`. Never
+  /// moves the cursor past `limit`, so events scheduled later into the
+  /// [limit, next-event) gap still bucket correctly.
+  bool pop_at_most(Time limit, QueueEvent& out) {
+    if (fifo_head_ >= fifo_.size()) {
+      fifo_.clear();
+      fifo_head_ = 0;
+      if (!advance(limit)) return false;
+    } else if (fifo_[fifo_head_].at > limit) {
+      return false;
+    }
+    out = fifo_[fifo_head_++];
+    --size_;
+    return true;
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::size_t kIndexMask = kBucketsPerLevel - 1;
+
+  std::size_t level_index(Time at, int level) const noexcept {
+    return static_cast<std::size_t>(at >> (level * kLevelBits)) & kIndexMask;
+  }
+
+  /// File an event relative to the cursor: the same-timestamp FIFO lane,
+  /// a wheel bucket, or the overflow tier.
+  void place(QueueEvent e) {
+    assert(e.at >= cursor_ && "event placed behind the wheel cursor");
+    const Time diff = e.at ^ cursor_;
+    if (diff == 0) {
+      ++stats_.fifo_pushes;
+      fifo_.push_back(e);
+      return;
+    }
+    const int level = (63 - std::countl_zero(diff)) / kLevelBits;
+    if (level >= kLevels) {
+      ++stats_.overflow_pushes;
+      overflow_.push_back(e);
+      return;
+    }
+    const std::size_t idx = level_index(e.at, level);
+    ++stats_.bucket_pushes;
+    buckets_[level][idx].push_back(e);
+    occupancy_[level] |= std::uint64_t{1} << idx;
+    level_mask_ |= std::uint32_t{1} << level;
+  }
+
+  // Cold paths (bucket scans, cascades, overflow reseeds) live in
+  // event_queue.cpp so the hot push/pop inlines stay small.
+  bool advance(Time limit);
+
+  std::vector<QueueEvent> buckets_[kLevels][kBucketsPerLevel];
+  std::uint64_t occupancy_[kLevels] = {};
+  /// Bit L set iff occupancy_[L] != 0: advance() finds the next populated
+  /// level with one find-first-set instead of scanning all kLevels words.
+  std::uint32_t level_mask_ = 0;
+  /// Drained front-to-back; every entry shares `at == cursor_`.
+  std::vector<QueueEvent> fifo_;
+  std::size_t fifo_head_ = 0;
+  std::vector<QueueEvent> overflow_;
+  std::vector<QueueEvent> cascade_scratch_;
+  Time cursor_ = 0;
+  std::size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace wasp::sim

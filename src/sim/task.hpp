@@ -17,9 +17,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
 #include "util/error.hpp"
 
 namespace wasp::sim {
@@ -29,6 +31,15 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+
+  // Coroutine frames allocate through the size-bucketed freelist arena
+  // (sim/frame_pool.hpp) instead of the global allocator; both sized and
+  // unsized delete route back (compilers differ on which one frames call).
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FramePool::deallocate(p);
+  }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

@@ -1,0 +1,25 @@
+// Simulated-time units shared by the engine and its event queues.
+#pragma once
+
+#include <cstdint>
+
+namespace wasp::sim {
+
+/// Simulated time in integer nanoseconds since the start of the run.
+using Time = std::uint64_t;
+
+inline constexpr Time kNs = 1;
+inline constexpr Time kUs = 1000 * kNs;
+inline constexpr Time kMs = 1000 * kUs;
+inline constexpr Time kSec = 1000 * kMs;
+
+/// Convert a (possibly fractional) second count to integer nanoseconds.
+constexpr Time seconds(double s) noexcept {
+  return static_cast<Time>(s * 1e9 + 0.5);
+}
+/// Convert simulated time to seconds for reporting.
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+}  // namespace wasp::sim

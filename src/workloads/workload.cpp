@@ -91,6 +91,19 @@ std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
   return run_many(scenarios, runtime::ScenarioRunner(jobs));
 }
 
+int effective_jobs(const std::vector<Scenario>& scenarios,
+                   const runtime::ScenarioRunner& runner) {
+  if (runner.jobs() <= 1 || scenarios.size() <= 1) return 1;
+  bool all_estimated = !scenarios.empty();
+  std::uint64_t max_est = 0;
+  for (const Scenario& s : scenarios) {
+    if (s.est_events == 0) all_estimated = false;
+    if (s.est_events > max_est) max_est = s.est_events;
+  }
+  if (all_estimated && max_est < kSerialScenarioEvents) return 1;
+  return runner.jobs();
+}
+
 std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
                                 const runtime::ScenarioRunner& runner) {
   std::vector<std::function<RunOutput()>> fns;
@@ -113,6 +126,14 @@ std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
       }
       return run_with(sim, s.make(), s.cfg, s.analyzer_opts);
     });
+  }
+  if (effective_jobs(scenarios, runner) == 1) {
+    // Batch too small for the pool dispatch to pay off: run in order on
+    // this thread. Results are bit-identical either way.
+    std::vector<RunOutput> out;
+    out.reserve(fns.size());
+    for (auto& fn : fns) out.push_back(fn());
+    return out;
   }
   return runner.run<RunOutput>(fns);
 }

@@ -90,7 +90,24 @@ struct Scenario {
   /// for runtime state the ClusterSpec can't express (e.g. toggling the
   /// PFS client cache). Runs on the scenario's worker thread.
   std::function<void(runtime::Simulation&)> prepare;
+  /// Rough expected engine-event count, when the caller knows it (e.g. a
+  /// sweep re-running a measured cell). 0 = unknown. Used only to decide
+  /// whether fanning out across threads is worth the pool dispatch cost —
+  /// never affects results.
+  std::uint64_t est_events = 0;
 };
+
+/// Batches whose largest scenario stays under this many engine events run
+/// serially even when the runner has worker threads: pool dispatch costs
+/// more than the simulations (the ablation_stripe_size sweep measured a
+/// 0.31x "speedup" at --jobs 4 on test-scale cells).
+inline constexpr std::uint64_t kSerialScenarioEvents = 10'000;
+
+/// The job count run_many will actually use for this batch: the runner's
+/// jobs, or 1 when the batch is too small to be worth fanning out (single
+/// scenario, or every scenario estimates under kSerialScenarioEvents).
+int effective_jobs(const std::vector<Scenario>& scenarios,
+                   const runtime::ScenarioRunner& runner);
 
 /// Run independent scenarios concurrently via runtime::ScenarioRunner
 /// (jobs == 0 -> util::default_jobs()). Results are in input order and
@@ -99,7 +116,9 @@ std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
                                 int jobs = 0);
 
 /// run_many() on a caller-configured runner; honors the runner's
-/// SpillPolicy (each scenario spills under policy.dir/<scenario name>).
+/// SpillPolicy (each scenario spills under policy.dir/<scenario name>) and
+/// drops to serial execution when effective_jobs() says the batch is too
+/// small to benefit.
 std::vector<RunOutput> run_many(const std::vector<Scenario>& scenarios,
                                 const runtime::ScenarioRunner& runner);
 

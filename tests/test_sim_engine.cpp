@@ -2,10 +2,14 @@
 // synchronization primitives they rest on.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/link.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -304,6 +308,256 @@ TEST(Engine, SchedulingIntoThePastIsAnError) {
   };
   eng.spawn(proc(eng));
   eng.run();
+}
+
+// ---------------------------------------------------------------------------
+// EngineQueue: the timer wheel against the heap oracle (`ctest -L engine`).
+
+constexpr Engine::QueueKind kBothKinds[] = {Engine::QueueKind::kHeap,
+                                            Engine::QueueKind::kWheel};
+
+Engine::Options opts_for(Engine::QueueKind kind) {
+  Engine::Options o;
+  o.queue = kind;
+  return o;
+}
+
+using MarkLog = std::vector<std::pair<int, Time>>;
+
+Task<void> mark_after(Engine& eng, Time d, int id, MarkLog& log) {
+  co_await Delay(eng, d);
+  log.emplace_back(id, eng.now());
+}
+
+// One pseudo-random process: a fixed-seed LCG picks dense (FIFO-lane),
+// medium, and sparse (multi-level) delays, with occasional child spawns —
+// the schedule is a pure function of the seed, so both queue kinds replay
+// the identical program.
+Task<void> prop_proc(Engine& eng, int id, std::uint32_t seed, int steps,
+                     MarkLog& log) {
+  std::uint32_t x = seed;
+  for (int s = 0; s < steps; ++s) {
+    x = x * 1664525u + 1013904223u;
+    const std::uint32_t kind = x >> 28;
+    Time d;
+    if (kind < 6) {
+      d = x % 64;  // dense: same-instant / level-0 traffic
+    } else if (kind < 13) {
+      d = x % 100000;
+    } else {
+      d = x % (Time{1} << 26);  // sparse: lands levels deep
+    }
+    co_await Delay(eng, d);
+    log.emplace_back(id, eng.now());
+    if (kind == 15) {
+      eng.spawn(mark_after(eng, x % 1000, id + 1000, log));
+    }
+  }
+}
+
+struct ProgramResult {
+  MarkLog log;
+  std::uint64_t events = 0;
+  Time end = 0;
+  bool operator==(const ProgramResult&) const = default;
+};
+
+ProgramResult run_program(Engine::QueueKind kind, std::uint32_t seed) {
+  Engine eng(opts_for(kind));
+  ProgramResult r;
+  for (int p = 0; p < 16; ++p) {
+    eng.spawn(prop_proc(eng, p, seed ^ (static_cast<std::uint32_t>(p) *
+                                        2654435761u),
+                        40, r.log));
+  }
+  eng.run();
+  r.events = eng.events_processed();
+  r.end = eng.now();
+  EXPECT_TRUE(eng.all_roots_done());
+  return r;
+}
+
+TEST(EngineQueue, RandomInterleavingsMatchHeapOracle) {
+  for (std::uint32_t seed = 1; seed <= 12; ++seed) {
+    const ProgramResult heap = run_program(Engine::QueueKind::kHeap, seed);
+    const ProgramResult wheel = run_program(Engine::QueueKind::kWheel, seed);
+    ASSERT_EQ(heap.events, wheel.events) << "seed " << seed;
+    ASSERT_EQ(heap.end, wheel.end) << "seed " << seed;
+    ASSERT_EQ(heap.log, wheel.log) << "seed " << seed;
+  }
+}
+
+TEST(EngineQueue, SameInstantOrderMatchesScheduleOrderOnBothKinds) {
+  for (Engine::QueueKind kind : kBothKinds) {
+    Engine eng(opts_for(kind));
+    MarkLog log;
+    for (int i = 0; i < 64; ++i) eng.spawn(mark_after(eng, 1 * kMs, i, log));
+    eng.run();
+    ASSERT_EQ(log.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(log[static_cast<std::size_t>(i)],
+                (std::pair<int, Time>{i, 1 * kMs}));
+    }
+  }
+}
+
+TEST(EngineQueue, OverflowTierPreservesOrderBeyondHorizon) {
+  // Delays past the wheel's 2^48 ns span land in the overflow tier and come
+  // back through reseeds — order and tie-breaks must survive the detour.
+  const Time far = WheelEventQueue::kHorizon;
+  Engine eng(opts_for(Engine::QueueKind::kWheel));
+  MarkLog log;
+  eng.spawn(mark_after(eng, 3 * far + 5, 3, log));
+  eng.spawn(mark_after(eng, far + 123, 1, log));
+  eng.spawn(mark_after(eng, 10, 0, log));
+  eng.spawn(mark_after(eng, 2 * far + 7, 2, log));
+  eng.spawn(mark_after(eng, far + 123, 4, log));  // ties with id 1, FIFO after
+  eng.run();
+  const MarkLog want = {{0, 10},
+                        {1, far + 123},
+                        {4, far + 123},
+                        {2, 2 * far + 7},
+                        {3, 3 * far + 5}};
+  EXPECT_EQ(log, want);
+  EXPECT_GT(eng.wheel_stats().overflow_pushes, 0u);
+  EXPECT_GE(eng.wheel_stats().overflow_reseeds, 1u);
+}
+
+TEST(EngineQueue, RunUntilThenScheduleIntoGapStaysOrdered) {
+  // run_until must not advance the wheel cursor past its limit: events
+  // scheduled afterwards into the (limit, next-event) gap still run first.
+  for (Engine::QueueKind kind : kBothKinds) {
+    Engine eng(opts_for(kind));
+    MarkLog log;
+    eng.spawn(mark_after(eng, 10 * kSec, 1, log));
+    EXPECT_FALSE(eng.run_until(1 * kSec));
+    EXPECT_EQ(eng.now(), 1 * kSec);
+    EXPECT_TRUE(log.empty());
+    eng.spawn(mark_after(eng, 2 * kSec, 0, log));  // absolute t = 3s
+    EXPECT_TRUE(eng.run_until(20 * kSec));
+    const MarkLog want = {{0, 3 * kSec}, {1, 10 * kSec}};
+    EXPECT_EQ(log, want);
+    EXPECT_TRUE(eng.all_roots_done());
+  }
+}
+
+TEST(EngineQueue, ScheduleIntoPastThrowsSimErrorOnBothKinds) {
+  // The schedule contract (at >= now) holds for either queue: release
+  // builds throw SimError; debug builds additionally assert.
+  for (Engine::QueueKind kind : kBothKinds) {
+    Engine eng(opts_for(kind));
+    auto proc = [](Engine& e) -> Task<void> {
+      co_await Delay(e, 1 * kSec);
+      EXPECT_THROW(e.schedule(e.now() - 1, std::noop_coroutine()),
+                   wasp::util::SimError);
+    };
+    eng.spawn(proc(eng));
+    eng.run();
+    EXPECT_EQ(eng.pending_events(), 0u);
+  }
+}
+
+TEST(EngineQueue, DeepChurnKeepsWheelStatsConsistent) {
+  Engine eng(opts_for(Engine::QueueKind::kWheel));
+  MarkLog log;
+  for (int p = 0; p < 8; ++p) {
+    eng.spawn(prop_proc(eng, p, 77u + static_cast<std::uint32_t>(p), 64, log));
+  }
+  eng.run();
+  const auto& st = eng.wheel_stats();
+  // Delays stay under the horizon, so no overflow traffic; every placement
+  // (direct push or cascade re-placement) lands in the lane or a bucket
+  // exactly once, and every pushed event is eventually popped.
+  EXPECT_EQ(st.overflow_pushes, 0u);
+  EXPECT_EQ(st.fifo_pushes + st.bucket_pushes,
+            eng.events_processed() + st.cascaded_events);
+  EXPECT_GT(st.cascades, 0u);
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FramePool: the freelist arena behind Task frame allocation.
+
+TEST(FramePool, RecyclesCanonicalBlocks) {
+  FramePool::trim_thread_cache();
+  const auto before = FramePool::thread_stats();
+  void* a = FramePool::allocate(200);
+  FramePool::deallocate(a);
+  void* b = FramePool::allocate(200);  // same 64-byte bucket
+  EXPECT_EQ(a, b);
+  FramePool::deallocate(b);
+  const auto after = FramePool::thread_stats();
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.returns - before.returns, 2u);
+  EXPECT_GT(after.cached_bytes, 0u);
+}
+
+TEST(FramePool, DistinctBucketsDoNotAlias) {
+  FramePool::trim_thread_cache();
+  void* small = FramePool::allocate(40);
+  void* big = FramePool::allocate(1000);
+  EXPECT_NE(small, big);
+  FramePool::deallocate(small);
+  FramePool::deallocate(big);
+  // Each comes back from its own bucket.
+  EXPECT_EQ(FramePool::allocate(1000), big);
+  EXPECT_EQ(FramePool::allocate(40), small);
+  FramePool::deallocate(small);
+  FramePool::deallocate(big);
+  FramePool::trim_thread_cache();
+  EXPECT_EQ(FramePool::thread_stats().cached_bytes, 0u);
+}
+
+TEST(FramePool, OversizeRequestsBypassTheCache) {
+  FramePool::trim_thread_cache();
+  const auto before = FramePool::thread_stats();
+  void* p = FramePool::allocate(FramePool::kMaxPooled + 1);
+  FramePool::deallocate(p);
+  const auto after = FramePool::thread_stats();
+  EXPECT_EQ(after.oversize - before.oversize, 1u);
+  EXPECT_EQ(after.returns - before.returns, 0u);
+  EXPECT_EQ(after.cached_bytes, 0u);
+}
+
+TEST(FramePool, CrossThreadFreeJoinsTheFreeingThreadsCache) {
+  // Blocks carry no thread affinity: frames allocated here may be freed on
+  // another thread (its cache adopts them) and vice versa.
+  std::vector<void*> blocks;
+  for (int i = 0; i < 32; ++i) blocks.push_back(FramePool::allocate(256));
+  std::thread t([&blocks] {
+    const auto before = FramePool::thread_stats();
+    for (void* p : blocks) FramePool::deallocate(p);
+    const auto after = FramePool::thread_stats();
+    EXPECT_EQ(after.returns - before.returns, 32u);
+    // Reuse them on this thread, then hand fresh ones back to main.
+    for (void*& p : blocks) p = FramePool::allocate(256);
+    FramePool::trim_thread_cache();
+  });
+  t.join();
+  for (void* p : blocks) FramePool::deallocate(p);
+  FramePool::trim_thread_cache();
+}
+
+TEST(FramePool, TaskFramesHitTheCacheAfterWarmup) {
+  MarkLog log;
+  // Root frames return to the cache when their Engine is destroyed, so the
+  // first scoped run warms the bucket and the second must recycle it.
+  {
+    Engine eng;
+    for (int i = 0; i < 100; ++i) eng.spawn(mark_after(eng, 1, i, log));
+    eng.run();
+  }
+  const auto warm = FramePool::thread_stats();
+  {
+    Engine eng;
+    for (int i = 0; i < 100; ++i) eng.spawn(mark_after(eng, 1, i, log));
+    eng.run();
+  }
+  const auto after = FramePool::thread_stats();
+  EXPECT_GE(after.hits - warm.hits, 100u);
+  EXPECT_EQ(after.misses - warm.misses, 0u);
+  EXPECT_EQ(after.oversize - warm.oversize, 0u);
 }
 
 }  // namespace
